@@ -1,0 +1,40 @@
+# Convenience targets for the iCache reproduction. Everything is plain
+# stdlib Go; the Makefile only wraps the commands the README documents.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure (quick scale).
+bench:
+	$(GO) test -bench . -benchmem
+
+# Regenerate the full evaluation at paper scale (~4 minutes).
+experiments:
+	$(GO) run ./cmd/icache-bench -exp all
+
+experiments-quick:
+	$(GO) run ./cmd/icache-bench -exp all -quick
+
+# Short fuzz passes over the wire-facing decoders.
+fuzz:
+	$(GO) test -fuzz FuzzServerDispatch -fuzztime 30s ./internal/rpc/
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
+	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/wire/
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,74 @@
+// Command icache-bench regenerates the paper's tables and figures from the
+// simulation. Each experiment ID corresponds to one artifact in the paper's
+// evaluation; see DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	icache-bench -list
+//	icache-bench -exp fig8
+//	icache-bench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icache/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID to run (or 'all')")
+		quick  = flag.Bool("quick", false, "reduced epochs and dataset scale for a fast pass")
+		seed   = flag.Int64("seed", 0, "seed offset for run-to-run variation")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		format = flag.String("format", "table", "output format: table, csv, json")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icache-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "table":
+			rep.Print(os.Stdout)
+			fmt.Printf("  (%s completed in %s wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "icache-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "icache-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "icache-bench: unknown -format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

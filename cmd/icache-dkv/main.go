@@ -1,0 +1,38 @@
+// Command icache-dkv runs the shared key-value directory service of the
+// paper's §III-E: distributed cache nodes register which samples they hold
+// so no sample is cached twice and misses can be served from a peer's DRAM.
+//
+// Usage:
+//
+//	icache-dkv -addr :7821
+//
+// Cache nodes join with `icache-server -node-id N -dir <addr> -peers ...`.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"icache/internal/dkv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7821", "listen address")
+	flag.Parse()
+
+	srv := dkv.NewDirServer(dkv.NewDirectory())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("icache-dkv: shutting down")
+		srv.Close()
+	}()
+	log.Printf("icache-dkv: directory service listening on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Printf("icache-dkv: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Command icache-server runs the iCache TCP cache service: the Go server
+// of the paper's §IV, serving real sample bytes with the H-cache/L-cache
+// policy engine behind the rpc_loader / update_ipersample interfaces.
+//
+// Usage:
+//
+//	icache-server -addr :7820 -dataset cifar10 -cache-frac 0.2
+//
+// Training clients connect with internal/rpc.Client (see cmd/icache-train
+// and examples/clientserver).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+	"icache/internal/icache"
+	"icache/internal/rpc"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+	"icache/internal/trace"
+)
+
+// parsePeers decodes "1=host:port,2=host:port" into a peer address map.
+func parsePeers(s string) (map[dkv.NodeID]string, error) {
+	out := make(map[dkv.NodeID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=addr)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id in %q: %v", part, err)
+		}
+		out[dkv.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func datasetByName(name string) (dataset.Spec, error) {
+	switch name {
+	case "cifar10":
+		return dataset.CIFAR10(), nil
+	case "imagenet":
+		return dataset.ImageNet(), nil
+	case "imagenet-10pct":
+		return dataset.ImageNetScaled(), nil
+	default:
+		return dataset.Spec{}, fmt.Errorf("unknown dataset %q (cifar10, imagenet, imagenet-10pct)", name)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7820", "listen address")
+		dsName    = flag.String("dataset", "cifar10", "dataset to serve: cifar10, imagenet, imagenet-10pct")
+		dsFile    = flag.String("dataset-file", "", "serve payloads from a packed dataset file (see icache-gen) instead of generating them")
+		cacheFrac = flag.Float64("cache-frac", 0.2, "cache size as a fraction of the dataset")
+		hShare    = flag.Float64("h-share", 0.9, "fraction of the cache given to the H-region")
+		noLCache  = flag.Bool("no-lcache", false, "disable the L-cache (the +HC ablation configuration)")
+		seed      = flag.Int64("seed", 42, "server randomness seed")
+		ckptPath  = flag.String("checkpoint", "", "warm-restart checkpoint file: load at boot, save at shutdown")
+		metricsAt = flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (e.g. :7830)")
+		traceCSV  = flag.String("trace-csv", "", "dump a request-event trace to this CSV file at shutdown")
+		nodeID    = flag.Int("node-id", -1, "distributed mode: this node's ID (requires -dir)")
+		dirAddr   = flag.String("dir", "", "distributed mode: directory service address (see icache-dkv)")
+		peers     = flag.String("peers", "", "distributed mode: comma-separated id=addr peer list, e.g. 1=host:7820,2=host2:7820")
+	)
+	flag.Parse()
+
+	spec, err := datasetByName(*dsName)
+	if err != nil {
+		log.Fatalf("icache-server: %v", err)
+	}
+	if *cacheFrac <= 0 || *cacheFrac > 1 {
+		log.Fatalf("icache-server: -cache-frac %g outside (0,1]", *cacheFrac)
+	}
+
+	backend, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		log.Fatalf("icache-server: %v", err)
+	}
+	cfg := icache.DefaultConfig(int64(float64(spec.TotalBytes()) * *cacheFrac))
+	cfg.HShare = *hShare
+	cfg.EnableLCache = !*noLCache
+	cacheSrv, err := icache.NewServer(backend, cfg, sampling.DefaultIIS(), *seed)
+	if err != nil {
+		log.Fatalf("icache-server: %v", err)
+	}
+	var source rpc.ByteSource
+	if *dsFile != "" {
+		fsrc, err := storage.OpenFileSource(*dsFile, spec)
+		if err != nil {
+			log.Fatalf("icache-server: %v", err)
+		}
+		defer fsrc.Close()
+		source = fsrc
+		log.Printf("icache-server: serving payloads from %s", *dsFile)
+	} else {
+		dsrc, err := storage.NewDataSource(spec)
+		if err != nil {
+			log.Fatalf("icache-server: %v", err)
+		}
+		source = dsrc
+	}
+
+	var tracer *trace.Recorder
+	if *traceCSV != "" {
+		tracer = trace.NewRecorder(1 << 20)
+		cacheSrv.SetTracer(tracer)
+	}
+
+	srv := rpc.NewServer(cacheSrv, source)
+	if *ckptPath != "" {
+		loaded, err := srv.LoadCheckpointFile(*ckptPath, true)
+		if err != nil {
+			log.Fatalf("icache-server: checkpoint: %v", err)
+		}
+		if loaded {
+			log.Printf("icache-server: warm-restarted from %s (%d H, %d L residents)",
+				*ckptPath, cacheSrv.HCacheLen(), cacheSrv.LCacheLen())
+		}
+	}
+	if *dirAddr != "" {
+		if *nodeID < 0 {
+			log.Fatalf("icache-server: -dir requires -node-id")
+		}
+		dirClient, err := dkv.DialDir(*dirAddr, 5*time.Second)
+		if err != nil {
+			log.Fatalf("icache-server: directory: %v", err)
+		}
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("icache-server: %v", err)
+		}
+		srv.EnableDistributed(dkv.NodeID(*nodeID), dirClient, peerMap)
+		log.Printf("icache-server: distributed node %d, directory %s, %d peers", *nodeID, *dirAddr, len(peerMap))
+	}
+	if *metricsAt != "" {
+		go func() {
+			log.Printf("icache-server: metrics on http://%s/metrics", *metricsAt)
+			if err := http.ListenAndServe(*metricsAt, srv.MetricsHandler()); err != nil {
+				log.Printf("icache-server: metrics: %v", err)
+			}
+		}()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("icache-server: shutting down")
+		if *ckptPath != "" {
+			if err := srv.SaveCheckpointFile(*ckptPath); err != nil {
+				log.Printf("icache-server: checkpoint save: %v", err)
+			} else {
+				log.Printf("icache-server: checkpoint saved to %s", *ckptPath)
+			}
+		}
+		if tracer != nil {
+			if f, err := os.Create(*traceCSV); err != nil {
+				log.Printf("icache-server: trace dump: %v", err)
+			} else {
+				if err := tracer.WriteCSV(f); err != nil {
+					log.Printf("icache-server: trace dump: %v", err)
+				}
+				f.Close()
+				log.Printf("icache-server: trace (%d events retained, %d total) dumped to %s",
+					tracer.Len(), tracer.Total(), *traceCSV)
+			}
+		}
+		srv.Close()
+	}()
+
+	log.Printf("icache-server: dataset %s (%d samples, %d MB), cache %.0f%% (%s), listening on %s",
+		spec.Name, spec.NumSamples, spec.TotalBytes()>>20, 100**cacheFrac, cacheSrv, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Printf("icache-server: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+// Command icache-trace analyzes a request-event trace dumped by
+// icache-server's -trace-csv flag: event counts, hit ratio, epoch
+// boundaries, and the most-missed / most-substituted samples — the
+// operator's view into *why* the cache behaves as it does.
+//
+// Usage:
+//
+//	icache-server -trace-csv /tmp/cache-trace.csv ...   # run, then stop
+//	icache-trace /tmp/cache-trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"icache/internal/trace"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "how many samples to show in the rankings")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: icache-trace [-top N] <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("icache-trace: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		log.Fatalf("icache-trace: %v", err)
+	}
+	trace.Analyze(events, *topN).Print(os.Stdout)
+}

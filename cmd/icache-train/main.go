@@ -1,0 +1,144 @@
+// Command icache-train drives a live icache-server the way the paper's
+// PyTorch client does: per epoch it selects samples with I/O-oriented
+// importance sampling, fetches them in mini-batches over the wire, feeds
+// observed losses back into the importance tracker, and pushes the fresh
+// H-list to the server. It plays the role of the Python training loop,
+// with the simulated loss model standing in for real SGD.
+//
+// Usage (with icache-server running):
+//
+//	icache-train -addr 127.0.0.1:7820 -dataset cifar10 -epochs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/rpc"
+	"icache/internal/sampling"
+	"icache/internal/train"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7820", "icache-server address")
+		dsName  = flag.String("dataset", "cifar10", "dataset the server hosts")
+		epochs  = flag.Int("epochs", 3, "epochs to run")
+		bs      = flag.Int("batch", 256, "mini-batch size")
+		workers = flag.Int("workers", 4, "concurrent fetch workers (one connection each, like PyTorch data workers)")
+		seed    = flag.Int64("seed", 1, "sampler seed")
+		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
+	)
+	flag.Parse()
+
+	var spec dataset.Spec
+	switch *dsName {
+	case "cifar10":
+		spec = dataset.CIFAR10()
+	case "imagenet":
+		spec = dataset.ImageNet()
+	case "imagenet-10pct":
+		spec = dataset.ImageNetScaled()
+	default:
+		log.Fatalf("icache-train: unknown dataset %q", *dsName)
+	}
+
+	if *workers < 1 {
+		log.Fatalf("icache-train: -workers %d, want >= 1", *workers)
+	}
+	// One connection per worker, like PyTorch's per-worker loader processes.
+	clients := make([]*rpc.Client, *workers)
+	for w := range clients {
+		c, err := rpc.Dial(*addr, *timeout)
+		if err != nil {
+			log.Fatalf("icache-train: %v", err)
+		}
+		defer c.Close()
+		clients[w] = c
+	}
+	client := clients[0]
+	if err := client.Ping(); err != nil {
+		log.Fatalf("icache-train: server not responding: %v", err)
+	}
+
+	tracker, err := sampling.NewTracker(spec.NumSamples, 2.3, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss, err := train.NewLossModel(spec, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	for epoch := 0; epoch < *epochs; epoch++ {
+		loss.BeginEpoch(epoch)
+		sched, hlist := sampling.IISSchedule(tracker, sampling.DefaultIIS(), rng)
+		if err := client.UpdateImportance(hlist.Items); err != nil {
+			log.Fatalf("icache-train: push H-list: %v", err)
+		}
+		if err := client.BeginEpoch(epoch); err != nil {
+			log.Fatalf("icache-train: begin epoch: %v", err)
+		}
+
+		start := time.Now()
+		batches := sched.Batches(*bs)
+		// Workers fetch batches concurrently; results come back in order so
+		// losses are observed in schedule order, like a real loader queue.
+		type result struct {
+			samples []rpc.Sample
+			err     error
+		}
+		results := make([]chan result, len(batches))
+		for i := range results {
+			results[i] = make(chan result, 1)
+		}
+		next := make(chan int)
+		go func() {
+			for i := range batches {
+				next <- i
+			}
+			close(next)
+		}()
+		for w := 0; w < *workers; w++ {
+			go func(c *rpc.Client) {
+				for i := range next {
+					samples, err := c.GetBatch(batches[i])
+					results[i] <- result{samples: samples, err: err}
+				}
+			}(clients[w])
+		}
+		var bytes int64
+		trained := 0
+		for i := range batches {
+			r := <-results[i]
+			if r.err != nil {
+				log.Fatalf("icache-train: fetch: %v", r.err)
+			}
+			for _, s := range r.samples {
+				if err := spec.VerifyPayload(s.ID, s.Payload); err != nil {
+					log.Fatalf("icache-train: corrupt sample: %v", err)
+				}
+				bytes += int64(len(s.Payload))
+				// "Train" the sample: observe its loss, update importance.
+				tracker.Observe(s.ID, loss.Train(s.ID))
+				trained++
+			}
+		}
+		elapsed := time.Since(start)
+		st, err := client.Stats()
+		if err != nil {
+			log.Fatalf("icache-train: stats: %v", err)
+		}
+		served := st.Hits + st.Misses + st.Substitutions
+		hitRatio := float64(st.Hits+st.Substitutions) / float64(served)
+		fmt.Printf("epoch %d: %d samples, %.1f MB in %s (%.0f samples/s) | server: hits=%d misses=%d subs=%d hit-ratio=%.1f%% hcache=%d lcache=%d pkgs=%d\n",
+			epoch, trained, float64(bytes)/(1<<20), elapsed.Round(time.Millisecond),
+			float64(trained)/elapsed.Seconds(),
+			st.Hits, st.Misses, st.Substitutions, 100*hitRatio, st.HCacheLen, st.LCacheLen, st.Packages)
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: simulate one I/O-bound training job on CIFAR10 twice — once
+// with the paper's Default setup (LRU cache over remote storage) and once
+// with iCache — and print the per-epoch comparison the paper's headline
+// claim is about.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"icache/internal/cache"
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+	"icache/internal/train"
+)
+
+func main() {
+	spec := dataset.CIFAR10()
+	capBytes := spec.TotalBytes() / 5 // 20% cache, as in the paper
+
+	run := func(name string, mk func(*storage.Backend) (train.DataService, error)) metrics.RunStats {
+		backend, err := storage.NewBackend(spec, storage.OrangeFS())
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := mk(backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := train.DefaultConfig(train.ResNet18, spec)
+		cfg.Epochs = 12
+		job, err := train.NewJob(cfg, svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := job.Run()
+		fmt.Printf("\n%s:\n", name)
+		for _, e := range rs.Epochs {
+			fmt.Printf("  epoch %2d: %8s total, %8s stalled on I/O, hit ratio %5.1f%%, top-1 %.2f%%\n",
+				e.Epoch, e.Duration.Round(time.Millisecond), e.IOStall.Round(time.Millisecond),
+				100*e.Cache.HitRatio(), e.Top1)
+		}
+		return rs
+	}
+
+	def := run("Default (LRU cache, uniform sampling)", func(b *storage.Backend) (train.DataService, error) {
+		return cache.NewDefault(b, capBytes, cache.DefaultServiceConfig()), nil
+	})
+	ic := run("iCache (IIS + H-cache + L-cache)", func(b *storage.Backend) (train.DataService, error) {
+		return icache.NewServer(b, icache.DefaultConfig(capBytes), sampling.DefaultIIS(), 42)
+	})
+
+	fmt.Printf("\nsteady-state speedup (last 4 epochs): %.2fx\n",
+		float64(tail(def, 4).AvgEpochTime())/float64(tail(ic, 4).AvgEpochTime()))
+}
+
+// tail keeps the last n epochs of a run.
+func tail(rs metrics.RunStats, n int) metrics.RunStats {
+	if len(rs.Epochs) > n {
+		rs.Epochs = rs.Epochs[len(rs.Epochs)-n:]
+	}
+	return rs
+}

@@ -1,0 +1,3 @@
+module icache
+
+go 1.22

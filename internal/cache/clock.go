@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"fmt"
+
+	"icache/internal/dataset"
+)
+
+// FIFO evicts in admission order, ignoring accesses entirely — the
+// simplest possible bounded cache and a useful lower bar for the policy
+// comparison experiment.
+type FIFO struct {
+	cap       int64
+	used      int64
+	items     map[dataset.SampleID]*entry
+	head      *entry // oldest
+	tail      *entry // newest
+	evictions int64
+}
+
+// NewFIFO builds a FIFO policy with the given byte capacity.
+func NewFIFO(capacityBytes int64) *FIFO {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("cache: FIFO capacity %d", capacityBytes))
+	}
+	return &FIFO{cap: capacityBytes, items: make(map[dataset.SampleID]*entry)}
+}
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Touch implements Policy (accesses do not reorder FIFO).
+func (f *FIFO) Touch(id dataset.SampleID) bool { return f.Contains(id) }
+
+// Contains implements Policy.
+func (f *FIFO) Contains(id dataset.SampleID) bool {
+	_, ok := f.items[id]
+	return ok
+}
+
+func (f *FIFO) push(e *entry) {
+	e.prev = f.tail
+	if f.tail != nil {
+		f.tail.next = e
+	}
+	f.tail = e
+	if f.head == nil {
+		f.head = e
+	}
+}
+
+func (f *FIFO) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		f.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		f.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Admit implements Policy.
+func (f *FIFO) Admit(id dataset.SampleID, size int) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: Admit size %d", size))
+	}
+	if f.Contains(id) {
+		return true
+	}
+	if int64(size) > f.cap {
+		return false
+	}
+	for f.used+int64(size) > f.cap {
+		victim := f.head
+		f.unlink(victim)
+		delete(f.items, victim.id)
+		f.used -= int64(victim.size)
+		f.evictions++
+	}
+	e := &entry{id: id, size: size}
+	f.items[id] = e
+	f.push(e)
+	f.used += int64(size)
+	return true
+}
+
+// Remove implements Policy.
+func (f *FIFO) Remove(id dataset.SampleID) bool {
+	e, ok := f.items[id]
+	if !ok {
+		return false
+	}
+	f.unlink(e)
+	delete(f.items, id)
+	f.used -= int64(e.size)
+	return true
+}
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return len(f.items) }
+
+// UsedBytes implements Policy.
+func (f *FIFO) UsedBytes() int64 { return f.used }
+
+// CapacityBytes implements Policy.
+func (f *FIFO) CapacityBytes() int64 { return f.cap }
+
+// Evictions implements Policy.
+func (f *FIFO) Evictions() int64 { return f.evictions }
+
+// Residents implements Policy (oldest first).
+func (f *FIFO) Residents(dst []dataset.SampleID) []dataset.SampleID {
+	for e := f.head; e != nil; e = e.next {
+		dst = append(dst, e.id)
+	}
+	return dst
+}
+
+// Clock is the second-chance policy OS page caches use (§II-C names the OS
+// page cache as the recency/frequency archetype iCache replaces): a
+// circular scan clears reference bits and evicts the first unreferenced
+// entry.
+type Clock struct {
+	cap       int64
+	used      int64
+	items     map[dataset.SampleID]*clockEntry
+	ring      []*clockEntry
+	hand      int
+	evictions int64
+}
+
+type clockEntry struct {
+	id         dataset.SampleID
+	size       int
+	referenced bool
+	pos        int
+}
+
+// NewClock builds a CLOCK policy with the given byte capacity.
+func NewClock(capacityBytes int64) *Clock {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("cache: Clock capacity %d", capacityBytes))
+	}
+	return &Clock{cap: capacityBytes, items: make(map[dataset.SampleID]*clockEntry)}
+}
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "clock" }
+
+// Touch implements Policy: a hit sets the reference bit.
+func (c *Clock) Touch(id dataset.SampleID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	e.referenced = true
+	return true
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(id dataset.SampleID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// evictOne advances the hand, giving referenced entries a second chance.
+func (c *Clock) evictOne() {
+	for {
+		if len(c.ring) == 0 {
+			return
+		}
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		e := c.ring[c.hand]
+		if e.referenced {
+			e.referenced = false
+			c.hand++
+			continue
+		}
+		c.removeAt(c.hand)
+		c.evictions++
+		return
+	}
+}
+
+func (c *Clock) removeAt(i int) {
+	e := c.ring[i]
+	last := len(c.ring) - 1
+	if i != last {
+		c.ring[i] = c.ring[last]
+		c.ring[i].pos = i
+	}
+	c.ring = c.ring[:last]
+	delete(c.items, e.id)
+	c.used -= int64(e.size)
+}
+
+// Admit implements Policy.
+func (c *Clock) Admit(id dataset.SampleID, size int) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: Admit size %d", size))
+	}
+	if c.Touch(id) {
+		return true
+	}
+	if int64(size) > c.cap {
+		return false
+	}
+	for c.used+int64(size) > c.cap {
+		c.evictOne()
+	}
+	e := &clockEntry{id: id, size: size, pos: len(c.ring)}
+	c.items[id] = e
+	c.ring = append(c.ring, e)
+	c.used += int64(size)
+	return true
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(id dataset.SampleID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	c.removeAt(e.pos)
+	return true
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return len(c.items) }
+
+// UsedBytes implements Policy.
+func (c *Clock) UsedBytes() int64 { return c.used }
+
+// CapacityBytes implements Policy.
+func (c *Clock) CapacityBytes() int64 { return c.cap }
+
+// Evictions implements Policy.
+func (c *Clock) Evictions() int64 { return c.evictions }
+
+// Residents implements Policy (ring order).
+func (c *Clock) Residents(dst []dataset.SampleID) []dataset.SampleID {
+	for _, e := range c.ring {
+		dst = append(dst, e.id)
+	}
+	return dst
+}

@@ -1,0 +1,84 @@
+// Package dkv implements the distributed key-value directory of the paper's
+// §III-E: a store shared by all training nodes that records, for every
+// cached data item, which node holds it. Cached items are not duplicated
+// across nodes, so ownership is exclusive: the first node to claim an item
+// owns it until it releases the claim (e.g. on eviction).
+package dkv
+
+import (
+	"sync"
+
+	"icache/internal/dataset"
+)
+
+// NodeID identifies a cache node in a distributed deployment.
+type NodeID int
+
+// Directory maps sample IDs to owning nodes. It is safe for concurrent use:
+// in a real deployment this is a shared service (the paper suggests a
+// distributed KV store); here it is an in-process equivalent with the same
+// first-claim-wins semantics.
+type Directory struct {
+	mu     sync.RWMutex
+	owner  map[dataset.SampleID]NodeID
+	claims int64
+	denied int64
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{owner: make(map[dataset.SampleID]NodeID)}
+}
+
+// Lookup reports which node owns id, if any.
+func (d *Directory) Lookup(id dataset.SampleID) (NodeID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, ok := d.owner[id]
+	return n, ok
+}
+
+// Claim registers node as the owner of id. It reports whether the claim
+// succeeded; a claim on an item owned by another node fails (no
+// duplication), while re-claiming one's own item succeeds idempotently.
+func (d *Directory) Claim(id dataset.SampleID, node NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.owner[id]; ok {
+		if cur == node {
+			return true
+		}
+		d.denied++
+		return false
+	}
+	d.owner[id] = node
+	d.claims++
+	return true
+}
+
+// Release removes node's ownership of id. Releasing an item the node does
+// not own is a no-op returning false, so eviction races are harmless.
+func (d *Directory) Release(id dataset.SampleID, node NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.owner[id]; !ok || cur != node {
+		return false
+	}
+	delete(d.owner, id)
+	return true
+}
+
+// Len reports the number of owned items.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.owner)
+}
+
+// Stats reports cumulative successful claims and denied (conflicting)
+// claims.
+func (d *Directory) Stats() (claims, denied int64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.claims, d.denied
+}

@@ -1,0 +1,82 @@
+package dkv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClaimFirstWins(t *testing.T) {
+	d := NewDirectory()
+	if !d.Claim(1, 0) {
+		t.Fatal("first claim failed")
+	}
+	if d.Claim(1, 1) {
+		t.Fatal("second node stole the claim")
+	}
+	if !d.Claim(1, 0) {
+		t.Fatal("re-claim by owner failed")
+	}
+	n, ok := d.Lookup(1)
+	if !ok || n != 0 {
+		t.Fatalf("Lookup = %d,%v, want 0,true", n, ok)
+	}
+}
+
+func TestReleaseSemantics(t *testing.T) {
+	d := NewDirectory()
+	d.Claim(1, 0)
+	if d.Release(1, 1) {
+		t.Fatal("non-owner released")
+	}
+	if !d.Release(1, 0) {
+		t.Fatal("owner release failed")
+	}
+	if d.Release(1, 0) {
+		t.Fatal("double release succeeded")
+	}
+	if _, ok := d.Lookup(1); ok {
+		t.Fatal("released item still owned")
+	}
+	// After release another node can claim.
+	if !d.Claim(1, 1) {
+		t.Fatal("claim after release failed")
+	}
+}
+
+func TestLenAndStats(t *testing.T) {
+	d := NewDirectory()
+	d.Claim(1, 0)
+	d.Claim(2, 1)
+	d.Claim(1, 1) // denied
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	claims, denied := d.Stats()
+	if claims != 2 || denied != 1 {
+		t.Fatalf("Stats = %d,%d, want 2,1", claims, denied)
+	}
+}
+
+func TestConcurrentClaimsExactlyOneWinner(t *testing.T) {
+	d := NewDirectory()
+	const nodes = 16
+	var wg sync.WaitGroup
+	wins := make([]bool, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			wins[n] = d.Claim(42, NodeID(n))
+		}(n)
+	}
+	wg.Wait()
+	winners := 0
+	for _, w := range wins {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners, want exactly 1", winners)
+	}
+}

@@ -1,0 +1,293 @@
+package dkv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/wire"
+)
+
+// The paper's §III-E shares the directory between nodes through "a
+// distributed key-value store". This file provides that deployment shape: a
+// TCP service exposing the Directory operations, and a client that cache
+// nodes use in place of the in-process map. The protocol reuses the shared
+// wire framing.
+
+// Directory-service opcodes.
+const (
+	opLookup  = 1
+	opClaim   = 2
+	opRelease = 3
+	opLen     = 4
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// DirServer serves a Directory over TCP.
+type DirServer struct {
+	dir *Directory
+
+	ln      net.Listener
+	conns   sync.WaitGroup
+	connMu  sync.Mutex
+	connSet map[net.Conn]struct{}
+	closed  chan struct{}
+}
+
+// NewDirServer wraps dir for network service.
+func NewDirServer(dir *Directory) *DirServer {
+	return &DirServer{
+		dir:     dir,
+		connSet: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until Close. It always returns a non-nil error
+// (net.ErrClosed after a clean shutdown).
+func (s *DirServer) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return net.ErrClosed
+			default:
+				return err
+			}
+		}
+		s.connMu.Lock()
+		s.connSet[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.conns.Add(1)
+		go func() {
+			defer func() {
+				s.connMu.Lock()
+				delete(s.connSet, conn)
+				s.connMu.Unlock()
+				s.conns.Done()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *DirServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound address once serving.
+func (s *DirServer) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the server and closes live connections.
+func (s *DirServer) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.connSet {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.conns.Wait()
+	return err
+}
+
+func (s *DirServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := wire.WriteFrame(conn, s.dispatch(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *DirServer) dispatch(req []byte) []byte {
+	d := wire.NewReader(req)
+	op := d.U8()
+	switch op {
+	case opLookup:
+		id := dataset.SampleID(d.I64())
+		if d.Err != nil {
+			return dirError(d.Err)
+		}
+		var e wire.Buffer
+		e.U8(statusOK)
+		if node, ok := s.dir.Lookup(id); ok {
+			e.U8(1)
+			e.I64(int64(node))
+		} else {
+			e.U8(0)
+		}
+		return e.B
+	case opClaim:
+		id := dataset.SampleID(d.I64())
+		node := NodeID(d.I64())
+		if d.Err != nil {
+			return dirError(d.Err)
+		}
+		var e wire.Buffer
+		e.U8(statusOK)
+		if s.dir.Claim(id, node) {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		return e.B
+	case opRelease:
+		id := dataset.SampleID(d.I64())
+		node := NodeID(d.I64())
+		if d.Err != nil {
+			return dirError(d.Err)
+		}
+		var e wire.Buffer
+		e.U8(statusOK)
+		if s.dir.Release(id, node) {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		return e.B
+	case opLen:
+		var e wire.Buffer
+		e.U8(statusOK)
+		e.I64(int64(s.dir.Len()))
+		return e.B
+	default:
+		return dirError(fmt.Errorf("dkv: unknown opcode %d", op))
+	}
+}
+
+func dirError(err error) []byte {
+	var e wire.Buffer
+	e.U8(statusErr)
+	e.Str(err.Error())
+	return e.B
+}
+
+// DirClient is a node's connection to the directory service. It satisfies
+// the same Lookup/Claim/Release contract as the in-process Directory, so a
+// cache node can be wired to either.
+type DirClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialDir connects to a directory service.
+func DialDir(addr string, timeout time.Duration) (*DirClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dkv: dial %s: %w", addr, err)
+	}
+	return &DirClient{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *DirClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("dkv: send: %w", err)
+	}
+	resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("dkv: receive: %w", err)
+	}
+	d := wire.NewReader(resp)
+	switch status := d.U8(); status {
+	case statusOK:
+		return d, nil
+	case statusErr:
+		return nil, errors.New("dkv: server error: " + d.Str())
+	default:
+		return nil, fmt.Errorf("dkv: unknown status %d", status)
+	}
+}
+
+// Lookup reports which node owns id, if any.
+func (c *DirClient) Lookup(id dataset.SampleID) (NodeID, bool, error) {
+	var e wire.Buffer
+	e.U8(opLookup)
+	e.I64(int64(id))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return 0, false, err
+	}
+	if d.U8() == 0 {
+		return 0, false, d.Err
+	}
+	return NodeID(d.I64()), true, d.Err
+}
+
+// Claim registers node as the owner of id (first claim wins).
+func (c *DirClient) Claim(id dataset.SampleID, node NodeID) (bool, error) {
+	var e wire.Buffer
+	e.U8(opClaim)
+	e.I64(int64(id))
+	e.I64(int64(node))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return false, err
+	}
+	return d.U8() == 1, d.Err
+}
+
+// Release removes node's ownership of id.
+func (c *DirClient) Release(id dataset.SampleID, node NodeID) (bool, error) {
+	var e wire.Buffer
+	e.U8(opRelease)
+	e.I64(int64(id))
+	e.I64(int64(node))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return false, err
+	}
+	return d.U8() == 1, d.Err
+}
+
+// Len reports the number of owned items.
+func (c *DirClient) Len() (int, error) {
+	var e wire.Buffer
+	e.U8(opLen)
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return 0, err
+	}
+	return int(d.I64()), d.Err
+}

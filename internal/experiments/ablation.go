@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icache/internal/icache"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+	"icache/internal/train"
+)
+
+func init() {
+	register("abl-packaging", ablPackaging)
+	register("abl-partition", ablPartition)
+}
+
+// runICacheVariant trains one model under iCache with a mutated config.
+func runICacheVariant(model train.ModelProfile, opts Options, mutate func(*icache.Config)) (metrics.RunStats, *icache.Server, error) {
+	spec := opts.cifar()
+	total, warmup := opts.perfEpochs()
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		return metrics.RunStats{}, nil, err
+	}
+	cfg := icache.DefaultConfig(int64(float64(spec.TotalBytes()) * 0.2))
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := icache.NewServer(back, cfg, sampling.DefaultIIS(), 42+opts.Seed)
+	if err != nil {
+		return metrics.RunStats{}, nil, err
+	}
+	tcfg := train.DefaultConfig(model, spec)
+	tcfg.Epochs = total
+	tcfg.Seed = 1 + opts.Seed
+	job, err := train.NewJob(tcfg, srv)
+	if err != nil {
+		return metrics.RunStats{}, nil, err
+	}
+	rs := job.Run()
+	return steady(rs, warmup), srv, nil
+}
+
+// ablPackaging contrasts iCache's dynamic packaging (§III-C) against the
+// static pre-packed chunks of prior work (TFRecord/WebDataset-style; §VII-B
+// discusses why static packing fights importance sampling): static chunks
+// drag in samples that are H-samples or already cached, so the loader moves
+// more bytes per useful sample — read amplification — and the L-cache gets
+// fewer fresh substitutes per second.
+func ablPackaging(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "abl-packaging",
+		Title:  "Ablation: dynamic vs static packaging (ShuffleNet/CIFAR10)",
+		Header: []string{"packaging", "epoch-time", "hit-ratio", "wasted-byte-share", "wasted-bytes"},
+	}
+	for _, mode := range []icache.PackagingMode{icache.PackagingDynamic, icache.PackagingStatic} {
+		mode := mode
+		rs, srv, err := runICacheVariant(train.ShuffleNet, opts, func(c *icache.Config) { c.Packaging = mode })
+		if err != nil {
+			return nil, err
+		}
+		waste := fmt.Sprintf("%d%%", pct(srv.LoaderWastedBytes(), srv.LoaderWastedBytes()+srv.LoaderUsefulBytes()))
+		rep.AddRow(mode.String(),
+			fmt.Sprintf("%.3fs", rs.AvgEpochTime().Seconds()),
+			fmtPct(rs.TotalCache().HitRatio()),
+			waste,
+			fmt.Sprintf("%d MB", srv.LoaderWastedBytes()>>20))
+	}
+	rep.Notes = append(rep.Notes,
+		"dynamic packaging wastes no loader bytes; static chunks pay read amplification",
+		"the paper adopts dynamic packaging precisely because IS scatters the useful samples")
+	return rep, nil
+}
+
+func pct(num, den int64) int64 {
+	if den == 0 {
+		return 0
+	}
+	return num * 100 / den
+}
+
+// ablPartition contrasts the H/L partition policies: the paper's reported
+// 9:1 operating point (static) against the §III-A frequency-adaptive
+// formula.
+func ablPartition(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "abl-partition",
+		Title:  "Ablation: H/L partition policy (ShuffleNet/CIFAR10)",
+		Header: []string{"policy", "epoch-time", "hit-ratio", "final-h-share"},
+	}
+	for _, pol := range []icache.PartitionPolicy{icache.PartitionStatic, icache.PartitionByFrequency} {
+		pol := pol
+		rs, srv, err := runICacheVariant(train.ShuffleNet, opts, func(c *icache.Config) { c.Partition = pol })
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(pol.String(),
+			fmt.Sprintf("%.3fs", rs.AvgEpochTime().Seconds()),
+			fmtPct(rs.TotalCache().HitRatio()),
+			fmt.Sprintf("%.2f", srv.HShare()))
+	}
+	rep.Notes = append(rep.Notes,
+		"the frequency formula adapts the split to the observed per-sample access rates;",
+		"see DESIGN.md for why the per-sample interpretation of the paper's formula is used")
+	return rep, nil
+}

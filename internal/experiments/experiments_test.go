@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true} }
+
+// parseX parses a "1.85x" cell.
+func parseX(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// parsePct parses a "32.9%" cell into a ratio.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", cell, err)
+	}
+	return v / 100
+}
+
+// parseSec parses a "6.194s" cell.
+func parseSec(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("bad seconds cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "tab1", "tab2", "tab3",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", quickOpts()); err == nil {
+		t.Fatal("unknown experiment ran")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	rep.AddRow("1", "2")
+	rep.Notes = append(rep.Notes, "n")
+	var sb strings.Builder
+	rep.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig10AblationShape asserts the paper's monotone technique ladder:
+// Base slower than +IIS slower than +HC slower than All, with All ≥ 1.8×.
+func TestFig10AblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	rep, err := Run("fig10", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		base := parseSec(t, row[1])
+		iis := parseSec(t, row[2])
+		hc := parseSec(t, row[3])
+		all := parseSec(t, row[4])
+		if !(base > iis && iis > hc && hc > all) {
+			t.Errorf("%s: ladder not monotone: %v", row[0], row[1:5])
+		}
+		if sp := parseX(t, row[7]); sp < 1.8 {
+			t.Errorf("%s: All speedup %.2f < 1.8", row[0], sp)
+		}
+	}
+}
+
+// TestFig11HitRatioShape asserts the paper's hit-ratio ladder: ~2% for
+// Base, >15% with the H-cache, higher still with the L-cache.
+func TestFig11HitRatioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	rep, err := Run("fig11", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRung := map[string]float64{}
+	for _, row := range rep.Rows {
+		if row[0] == "shufflenet" {
+			byRung[row[1]] = parsePct(t, row[3])
+		}
+	}
+	if byRung["Base"] > 0.06 {
+		t.Errorf("Base hit ratio %.3f, want ~2%%", byRung["Base"])
+	}
+	if byRung["+HC"] < 0.15 {
+		t.Errorf("+HC hit ratio %.3f, want >15%%", byRung["+HC"])
+	}
+	if byRung["All"] <= byRung["+HC"] {
+		t.Errorf("L-cache added nothing: All %.3f <= +HC %.3f", byRung["All"], byRung["+HC"])
+	}
+}
+
+// TestFig16CacheSizeShape asserts iCache keeps a healthy speedup and a
+// hit-ratio advantage across cache sizes.
+func TestFig16CacheSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	rep, err := Run("fig16", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if sp := parseX(t, row[3]); sp < 1.3 {
+			t.Errorf("cache %s: speedup %.2f < 1.3", row[0], sp)
+		}
+		if dh, ih := parsePct(t, row[4]), parsePct(t, row[5]); ih <= dh {
+			t.Errorf("cache %s: iCache hit %.3f not above Default %.3f", row[0], ih, dh)
+		}
+	}
+}
+
+// TestFig14MultiJobShape asserts the coordination claims: iCache's joint
+// time beats Default's, and INDA favours ShuffleNet over INDB.
+func TestFig14MultiJobShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	rep, err := Run("fig14", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := map[string]float64{}
+	shufTime := map[string]float64{}
+	for _, row := range rep.Rows {
+		joint[row[0]] = parseSec(t, row[3])
+		shufTime[row[0]] = parseSec(t, row[1])
+	}
+	if joint["iCache"] >= joint["Default"] {
+		t.Errorf("iCache joint %.3f not below Default %.3f", joint["iCache"], joint["Default"])
+	}
+	if shufTime["INDA"] >= shufTime["INDB"] {
+		t.Errorf("INDA did not favour ShuffleNet: %.3f vs INDB %.3f", shufTime["INDA"], shufTime["INDB"])
+	}
+}
+
+// TestTab3SubstitutionShape asserts ST_LC hurts accuracy less than ST_HC.
+func TestTab3SubstitutionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs take seconds")
+	}
+	rep, err := Run("tab3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		hcDrop, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcDrop, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lcDrop >= hcDrop {
+			t.Errorf("%s: ST_LC drop %.2f not below ST_HC drop %.2f", row[0], lcDrop, hcDrop)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icache/internal/icache"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+	"icache/internal/train"
+)
+
+func init() {
+	register("ext-criteria", extCriteria)
+	register("ext-tier", extTier)
+}
+
+// extCriteria implements §VI's "other importance sampling methods": the
+// same iCache machinery under three importance criteria — the loss-based
+// default, a gradient-norm-upper-bound score, and a lightweight proxy model
+// that re-scores every sample each epoch (no staleness, more noise).
+func extCriteria(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "ext-criteria",
+		Title:  "Extension: importance criteria under iCache (ResNet18/CIFAR10)",
+		Header: []string{"criterion", "epoch-time", "hit-ratio", "final-top1"},
+	}
+	spec := opts.cifar()
+	total, warmup := opts.perfEpochs()
+	for _, crit := range []sampling.Criterion{sampling.CriterionLoss, sampling.CriterionGradUpper, sampling.CriterionProxyModel} {
+		crit := crit
+		back, err := storage.NewBackend(spec, storage.OrangeFS())
+		if err != nil {
+			return nil, err
+		}
+		srv, err := icache.NewServer(back, icache.DefaultConfig(int64(float64(spec.TotalBytes())*0.2)),
+			sampling.DefaultIIS(), 42+opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := train.DefaultConfig(train.ResNet18, spec)
+		cfg.Epochs = total
+		cfg.Seed = 1 + opts.Seed
+		cfg.Criterion = crit
+		job, err := train.NewJob(cfg, srv)
+		if err != nil {
+			return nil, err
+		}
+		rs := job.Run()
+		st := steady(rs, warmup)
+		rep.AddRow(crit.String(),
+			fmt.Sprintf("%.3fs", st.AvgEpochTime().Seconds()),
+			fmtPct(st.TotalCache().HitRatio()),
+			fmtAcc(rs.FinalTop1()))
+	}
+	rep.Notes = append(rep.Notes,
+		"the paper ships loss-based IS and names the others as integration candidates (§VI)",
+		"proxy scoring removes importance staleness for skipped samples at the cost of estimation noise")
+	return rep, nil
+}
+
+// extTier implements §VI's local-storage discussion: the DRAM-only iCache
+// against one whose H-cache evictions spill to a local NVMe tier that is
+// checked before the remote backend.
+func extTier(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "ext-tier",
+		Title:  "Extension: local-storage spill tier (ResNet18/CIFAR10)",
+		Header: []string{"config", "epoch-time", "hit-ratio", "tier2-hits/epoch", "tier2-resident"},
+	}
+	spec := opts.cifar()
+	total, _ := opts.perfEpochs()
+	type variant struct {
+		name string
+		mut  func(*icache.Config)
+	}
+	for _, v := range []variant{
+		{"dram-only", nil},
+		{"dram+nvme-tier", func(c *icache.Config) { c.Tier2Bytes = int64(float64(spec.TotalBytes()) * 0.3) }},
+	} {
+		var rs metrics.RunStats
+		var srv *icache.Server
+		var err error
+		rs, srv, err = runICacheVariant(train.ResNet18, opts, v.mut)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(v.name,
+			fmt.Sprintf("%.3fs", rs.AvgEpochTime().Seconds()),
+			fmtPct(rs.TotalCache().HitRatio()),
+			fmt.Sprintf("%d", srv.Tier2Hits()/int64(total)),
+			fmt.Sprintf("%d", srv.Tier2Len()))
+	}
+	rep.Notes = append(rep.Notes,
+		"the tier absorbs H-cache churn: demoted-then-re-promoted samples cost ~0.1ms instead of a remote read",
+		"the paper leaves PM/local-storage tiers to future work (§VI); this quantifies the headroom")
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders the report as RFC 4180 CSV: a header row, then data
+// rows. Notes are emitted as trailing comment-style rows prefixed with
+// "#note" in the first column so spreadsheet imports keep them visible.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	for _, n := range r.Notes {
+		if err := cw.Write([]string{"#note", n}); err != nil {
+			return fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportJSON is the stable JSON shape of a report.
+type reportJSON struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the report as a JSON object whose rows are keyed by the
+// header columns, so downstream tooling does not depend on column order.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := reportJSON{ID: r.ID, Title: r.Title, Header: r.Header, Notes: r.Notes}
+	for _, row := range r.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(r.Header) {
+				key = r.Header[i]
+			}
+			m[key] = cell
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

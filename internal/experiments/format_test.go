@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	rep := &Report{ID: "x", Title: "demo", Header: []string{"model", "time"}}
+	rep.AddRow("resnet18", "1.5s")
+	rep.AddRow("with,comma", `with "quotes"`)
+	rep.Notes = append(rep.Notes, "a note")
+	return rep
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleReport().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "model,time" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "#note") {
+		t.Fatalf("note row missing: %q", lines[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleReport().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID   string              `json:"id"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if got.ID != "x" || len(got.Rows) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Rows[0]["model"] != "resnet18" {
+		t.Fatalf("row keyed wrong: %+v", got.Rows[0])
+	}
+}
+
+func TestWriteJSONExtraColumns(t *testing.T) {
+	rep := &Report{ID: "y", Header: []string{"a"}}
+	rep.AddRow("1", "2") // more cells than headers
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "col1") {
+		t.Fatal("overflow column not keyed col1")
+	}
+}

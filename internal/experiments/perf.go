@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icache/internal/metrics"
+	"icache/internal/storage"
+	"icache/internal/train"
+)
+
+func init() {
+	register("fig8", fig8)
+	register("fig9", fig9)
+	register("fig10", fig10)
+	register("fig11", fig11)
+}
+
+// fig8Schemes are the compared systems of §V-C in presentation order.
+var fig8Schemes = []Scheme{SchemeDefault, SchemeBase, SchemeQuiver, SchemeCoorDL, SchemeILFU, SchemeICache, SchemeOracle}
+
+// fig8 reproduces Figure 8: average per-epoch training time for all eight
+// models under all seven systems. The paper's headline: iCache beats
+// Default/Base by up to 2.3×, Quiver by 2.0×, CoorDL by 1.9×, iLFU by 1.6×,
+// and approaches Oracle on the compute-heavy ImageNet models.
+func fig8(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "Avg training time per epoch (steady state)",
+		Header: []string{"model", "default", "base", "quiver", "coordl", "ilfu", "icache", "oracle", "icache-speedup"},
+	}
+	total, warmup := opts.perfEpochs()
+	runSet := func(model train.ModelProfile, specName string) error {
+		spec := opts.cifar()
+		if specName == "imagenet" {
+			spec = opts.imagenet()
+		}
+		row := []string{model.Name}
+		var defT, icT float64
+		for _, sch := range fig8Schemes {
+			rs, err := runOne(sch, model, spec, storage.OrangeFS(), 0.2, total, nil, opts)
+			if err != nil {
+				return err
+			}
+			sec := steady(rs, warmup).AvgEpochTime().Seconds()
+			if sch == SchemeDefault {
+				defT = sec
+			}
+			if sch == SchemeICache {
+				icT = sec
+			}
+			row = append(row, fmt.Sprintf("%.3fs", sec))
+		}
+		row = append(row, fmtX(defT/icT))
+		rep.AddRow(row...)
+		return nil
+	}
+	for _, m := range train.CIFARModels() {
+		if err := runSet(m, "cifar"); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range train.ImageNetModels() {
+		if err := runSet(m, "imagenet"); err != nil {
+			return nil, err
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: iCache speedups up to 2.3x (vs Default), 2.0x (Quiver), 1.9x (CoorDL), 1.6x (iLFU)",
+		"paper: on VGG11 and DenseNet121 iCache runs at Oracle speed")
+	return rep, nil
+}
+
+// fig9 reproduces Figure 9: per-epoch I/O (data-stall) time on CIFAR10. The
+// paper reports iCache cutting I/O time 2.4× on average vs Default, with
+// Quiver/CoorDL/iLFU at 1.2×/1.3×/1.4×, and Base showing *more* I/O time
+// than Default because CIS shrinks the compute that used to hide it.
+func fig9(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "fig9",
+		Title:  "I/O (data-stall) time per epoch, CIFAR10 (steady state)",
+		Header: []string{"model", "default", "base", "quiver", "coordl", "ilfu", "icache", "icache-io-speedup"},
+	}
+	total, warmup := opts.perfEpochs()
+	schemes := []Scheme{SchemeDefault, SchemeBase, SchemeQuiver, SchemeCoorDL, SchemeILFU, SchemeICache}
+	for _, model := range train.CIFARModels() {
+		row := []string{model.Name}
+		var defIO, icIO float64
+		for _, sch := range schemes {
+			rs, err := runOne(sch, model, opts.cifar(), storage.OrangeFS(), 0.2, total, nil, opts)
+			if err != nil {
+				return nil, err
+			}
+			io := steady(rs, warmup).AvgIOStall().Seconds()
+			if sch == SchemeDefault {
+				defIO = io
+			}
+			if sch == SchemeICache {
+				icIO = io
+			}
+			row = append(row, fmt.Sprintf("%.3fs", io))
+		}
+		row = append(row, fmtX(defIO/icIO))
+		rep.AddRow(row...)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: iCache reduces I/O time 2.4x on average; Quiver 1.2x, CoorDL 1.3x, iLFU 1.4x",
+		"paper: Base's I/O time exceeds Default's (less compute left to hide it behind)")
+	return rep, nil
+}
+
+// ablationRungs are Fig. 10/11's incremental configurations: Base
+// (CIS+LRU), +IIS (IIS+LRU), +HC (IIS + importance-managed H-cache), All
+// (H-cache + L-cache).
+var ablationRungs = []Scheme{SchemeBase, SchemeIIS, SchemeHC, SchemeICache}
+
+var ablationNames = map[Scheme]string{SchemeBase: "Base", SchemeIIS: "+IIS", SchemeHC: "+HC", SchemeICache: "All"}
+
+// ablationRun collects per-rung stats for one model.
+func ablationRun(model train.ModelProfile, opts Options) (map[Scheme]metrics.RunStats, error) {
+	total, warmup := opts.perfEpochs()
+	out := make(map[Scheme]metrics.RunStats, len(ablationRungs))
+	for _, sch := range ablationRungs {
+		rs, err := runOne(sch, model, opts.cifar(), storage.OrangeFS(), 0.2, total, nil, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[sch] = steady(rs, warmup)
+	}
+	return out, nil
+}
+
+// fig10 reproduces Figure 10: the impact of each iCache technique on total
+// training time for ShuffleNet and ResNet50. The paper's ShuffleNet ladder:
+// +IIS 1.4×, +HC 1.7×, All 2.3× over Base.
+func fig10(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "fig10",
+		Title:  "Ablation: per-epoch time by technique (CIFAR10)",
+		Header: []string{"model", "Base", "+IIS", "+HC", "All", "iis-speedup", "hc-speedup", "all-speedup"},
+	}
+	for _, model := range []train.ModelProfile{train.ShuffleNet, train.ResNet50} {
+		stats, err := ablationRun(model, opts)
+		if err != nil {
+			return nil, err
+		}
+		base := stats[SchemeBase].AvgEpochTime().Seconds()
+		row := []string{model.Name}
+		for _, sch := range ablationRungs {
+			row = append(row, fmt.Sprintf("%.3fs", stats[sch].AvgEpochTime().Seconds()))
+		}
+		row = append(row,
+			fmtX(base/stats[SchemeIIS].AvgEpochTime().Seconds()),
+			fmtX(base/stats[SchemeHC].AvgEpochTime().Seconds()),
+			fmtX(base/stats[SchemeICache].AvgEpochTime().Seconds()))
+		rep.AddRow(row...)
+	}
+	rep.Notes = append(rep.Notes, "paper (ShuffleNet): +IIS 1.4x, +HC 1.7x, All 2.3x over Base")
+	return rep, nil
+}
+
+// fig11 reproduces Figure 11: the same ablation's I/O time and cache hit
+// ratio. The paper's hit-ratio ladder for ShuffleNet: 2% → 25% (+HC) → 37%
+// (All).
+func fig11(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "fig11",
+		Title:  "Ablation: I/O time and cache hit ratio (CIFAR10)",
+		Header: []string{"model", "rung", "io-time", "hit-ratio"},
+	}
+	for _, model := range []train.ModelProfile{train.ShuffleNet, train.ResNet50} {
+		stats, err := ablationRun(model, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, sch := range ablationRungs {
+			st := stats[sch]
+			rep.AddRow(model.Name, ablationNames[sch],
+				fmt.Sprintf("%.3fs", st.AvgIOStall().Seconds()),
+				fmtPct(st.TotalCache().HitRatio()))
+		}
+	}
+	rep.Notes = append(rep.Notes, "paper (ShuffleNet): hit ratio 2% (Base) -> 25% (+HC) -> 37% (All)")
+	return rep, nil
+}

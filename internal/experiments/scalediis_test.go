@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestScaledIIS(t *testing.T) {
+	// At the default 20% cache the H-fraction stays at the paper default.
+	base := scaledIIS(0.2, 0.9)
+	if base.HFraction != 0.2 {
+		t.Fatalf("20%% cache: HFraction = %g, want default 0.2", base.HFraction)
+	}
+	// Larger caches grow the H-list with the H-region.
+	big := scaledIIS(0.6, 0.9)
+	if big.HFraction <= base.HFraction {
+		t.Fatalf("60%% cache did not grow HFraction: %g", big.HFraction)
+	}
+	if got, want := big.HFraction, 0.54; got != want {
+		t.Fatalf("HFraction = %g, want %g", got, want)
+	}
+	// The cap keeps H-selection below the per-epoch fetch target.
+	huge := scaledIIS(0.95, 1.0)
+	if huge.HFraction*huge.HSelectProb >= huge.TargetFraction {
+		t.Fatalf("uncapped: %g × %g ≥ target %g",
+			huge.HFraction, huge.HSelectProb, huge.TargetFraction)
+	}
+	// Every scaled config must still validate.
+	for _, c := range []float64{0.1, 0.2, 0.4, 0.8, 1.0} {
+		if err := scaledIIS(c, 0.9).Validate(); err != nil {
+			t.Errorf("capFrac %g: %v", c, err)
+		}
+	}
+}

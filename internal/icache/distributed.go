@@ -1,0 +1,280 @@
+package icache
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/simclock"
+	"icache/internal/storage"
+)
+
+// ClusterConfig parameterizes the distributed iCache of §III-E.
+type ClusterConfig struct {
+	// Nodes is the number of training/cache nodes.
+	Nodes int
+	// PerNodeCapacityBytes is each node's cache budget.
+	PerNodeCapacityBytes int64
+	// Cache configures each node's H-/L-cache behaviour (CapacityBytes is
+	// overridden by PerNodeCapacityBytes).
+	Cache Config
+	// PeerLatency is the fixed cost of a remote-cache RPC between nodes.
+	PeerLatency time.Duration
+	// PeerBandwidth is inter-node bandwidth in bytes/sec.
+	PeerBandwidth float64
+}
+
+// DefaultClusterConfig mirrors the paper's cloud setup: per-node cache of
+// the given size, 10 Gb/s interconnect.
+func DefaultClusterConfig(nodes int, perNode int64) ClusterConfig {
+	return ClusterConfig{
+		Nodes:                nodes,
+		PerNodeCapacityBytes: perNode,
+		Cache:                DefaultConfig(perNode),
+		PeerLatency:          200 * time.Microsecond,
+		PeerBandwidth:        1.25e9,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c ClusterConfig) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("icache: cluster Nodes=%d, want > 0", c.Nodes)
+	case c.PerNodeCapacityBytes <= 0:
+		return fmt.Errorf("icache: PerNodeCapacityBytes=%d, want > 0", c.PerNodeCapacityBytes)
+	case c.PeerLatency < 0:
+		return fmt.Errorf("icache: negative PeerLatency")
+	case c.PeerBandwidth <= 0:
+		return fmt.Errorf("icache: PeerBandwidth=%g, want > 0", c.PeerBandwidth)
+	}
+	return nil
+}
+
+// clusterNode is one node's cache state.
+type clusterNode struct {
+	h   *hcache
+	l   *lcache
+	ld  *loader
+	nic simclock.Resource
+	rng *rand.Rand
+}
+
+// Cluster is the distributed iCache: per-node cache servers sharing a
+// key-value directory so no item is cached twice, over a shared backend
+// (the paper's NFS server). The training side drives it node by node with
+// FetchBatchOn; data-parallel jobs share one importance tracker, so the
+// cluster manages a single H-list.
+type Cluster struct {
+	cfg     ClusterConfig
+	backend *storage.Backend
+	spec    dataset.Spec
+	iis     sampling.IISConfig
+	dir     *dkv.Directory
+	nodes   []*clusterNode
+
+	hlist   *sampling.HList
+	hlistIV map[dataset.SampleID]float64
+
+	stats      metrics.CacheStats
+	remoteHits int64
+}
+
+// NewCluster builds a distributed iCache over a shared backend.
+func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISConfig, seed int64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iis.Validate(); err != nil {
+		return nil, err
+	}
+	cache := cfg.Cache
+	cache.CapacityBytes = cfg.PerNodeCapacityBytes
+	if err := cache.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg:     cfg,
+		backend: backend,
+		spec:    backend.Spec(),
+		iis:     iis,
+		dir:     dkv.NewDirectory(),
+		hlist:   sampling.NewHList(nil),
+	}
+	cl.cfg.Cache = cache
+	for n := 0; n < cfg.Nodes; n++ {
+		hBytes := int64(float64(cache.CapacityBytes) * cache.HShare)
+		lBytes := cache.CapacityBytes - hBytes
+		if !cache.EnableLCache {
+			hBytes, lBytes = cache.CapacityBytes, 0
+		}
+		pkg := cache.PackageBytes
+		if cache.EnableLCache && int64(pkg) > lBytes/2 {
+			pkg = int(lBytes / 2)
+			if pkg < backend.Spec().MeanSampleBytes {
+				pkg = backend.Spec().MeanSampleBytes
+			}
+		}
+		node := &clusterNode{
+			h:   newHCache(hBytes),
+			l:   newLCache(lBytes),
+			ld:  newLoader(backend, pkg, cache.RepackPerSample, rand.New(rand.NewSource(seed+int64(n)*7+1))),
+			rng: rand.New(rand.NewSource(seed + int64(n)*7)),
+		}
+		nodeID := dkv.NodeID(n)
+		node.h.onEvict = func(id dataset.SampleID) { cl.dir.Release(id, nodeID) }
+		node.l.onEvict = func(id dataset.SampleID) { cl.dir.Release(id, nodeID) }
+		node.l.claim = func(id dataset.SampleID) bool { return cl.dir.Claim(id, nodeID) }
+		cl.nodes = append(cl.nodes, node)
+	}
+	return cl, nil
+}
+
+// Name identifies the scheme in experiment output.
+func (cl *Cluster) Name() string { return fmt.Sprintf("icache-%dnode", cl.cfg.Nodes) }
+
+// Nodes reports the cluster size.
+func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
+
+// Stats reports cluster-wide cache counters.
+func (cl *Cluster) Stats() metrics.CacheStats {
+	st := cl.stats
+	for _, n := range cl.nodes {
+		st.Inserts += n.h.inserts + n.l.inserts
+		st.Evictions += n.h.evictions + n.l.evictions
+	}
+	return st
+}
+
+// SubstitutionSource declares the substitution severity class for the
+// accuracy model.
+func (cl *Cluster) SubstitutionSource() string {
+	switch cl.cfg.Cache.Substitute {
+	case SubstituteLCache:
+		return "lcache"
+	case SubstituteHCache:
+		return "hcache"
+	default:
+		return "none"
+	}
+}
+
+// RemoteHits reports requests served from a peer node's cache.
+func (cl *Cluster) RemoteHits() int64 { return cl.remoteHits }
+
+// DirectoryLen reports how many samples are registered in the shared
+// key-value directory.
+func (cl *Cluster) DirectoryLen() int { return cl.dir.Len() }
+
+// BeginEpoch draws the epoch schedule from the shared (data-parallel)
+// tracker, installs the fresh H-list on every node, and resets per-epoch
+// state. The caller splits the schedule's batches across nodes.
+func (cl *Cluster) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker, rng *rand.Rand) sampling.Schedule {
+	sched, hl := sampling.IISSchedule(tr, cl.iis, rng)
+	cl.hlist = hl
+	cl.hlistIV = make(map[dataset.SampleID]float64, hl.Len())
+	for _, it := range hl.Items {
+		cl.hlistIV[it.ID] = it.IV
+	}
+	for _, n := range cl.nodes {
+		n.h.refreshImportance(func(id dataset.SampleID) (float64, bool) {
+			iv, ok := cl.hlistIV[id]
+			return iv, ok
+		})
+		n.l.beginEpoch()
+	}
+	return sched
+}
+
+// remoteRead charges the cost of pulling one sample from a peer's cache:
+// the RPC latency plus the transfer over both NICs.
+func (cl *Cluster) remoteRead(at simclock.Time, from, to int, size int) simclock.Time {
+	transfer := time.Duration(float64(size) / cl.cfg.PeerBandwidth * float64(time.Second))
+	_, end := cl.nodes[from].nic.Acquire(at+cl.cfg.PeerLatency, transfer)
+	_, end = cl.nodes[to].nic.Acquire(end, transfer)
+	return end
+}
+
+// FetchBatchOn simulates node's worker fetching a mini-batch starting at
+// virtual time at, following §III-E's data flow: local cache, then the
+// shared directory for a remote-cache hit, then the backend (claiming
+// ownership of what it fetched).
+func (cl *Cluster) FetchBatchOn(node int, at simclock.Time, ids []dataset.SampleID) (simclock.Time, []dataset.SampleID) {
+	if node < 0 || node >= len(cl.nodes) {
+		panic(fmt.Sprintf("icache: node %d out of range [0,%d)", node, len(cl.nodes)))
+	}
+	n := cl.nodes[node]
+	served := make([]dataset.SampleID, 0, len(ids))
+	for _, id := range ids {
+		at = cl.fetchOne(n, node, at, id, &served)
+	}
+	return at, served
+}
+
+func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id dataset.SampleID, served *[]dataset.SampleID) simclock.Time {
+	size := cl.spec.SampleBytes(id)
+	if cl.hlist.Contains(id) {
+		if n.h.contains(id) {
+			cl.stats.Hits++
+			*served = append(*served, id)
+			return at + cl.cfg.Cache.HitLatency
+		}
+		if owner, ok := cl.dir.Lookup(id); ok && int(owner) != node {
+			if cl.nodes[owner].h.contains(id) || cl.nodes[owner].l.contains(id) {
+				cl.stats.Hits++
+				cl.remoteHits++
+				*served = append(*served, id)
+				return cl.remoteRead(at, int(owner), node, size)
+			}
+		}
+		cl.stats.Misses++
+		at = cl.backend.ReadSample(at, id)
+		iv := cl.hlistIV[id]
+		if cl.dir.Claim(id, dkv.NodeID(node)) {
+			if !n.h.offer(id, size, iv) {
+				cl.dir.Release(id, dkv.NodeID(node))
+			}
+		}
+		*served = append(*served, id)
+		return at
+	}
+
+	// L-sample path: local L-cache, remote exact hit, then substitution.
+	if !cl.cfg.Cache.EnableLCache {
+		cl.stats.Misses++
+		at = cl.backend.ReadSample(at, id)
+		*served = append(*served, id)
+		return at
+	}
+	n.ld.pump(at, cl.hlist, n.h, n.l)
+	n.ld.deliver(at, n.l)
+	if n.l.takeExact(id) {
+		cl.stats.Hits++
+		*served = append(*served, id)
+		return at + cl.cfg.Cache.HitLatency
+	}
+	if owner, ok := cl.dir.Lookup(id); ok && int(owner) != node {
+		if cl.nodes[owner].l.takeExact(id) {
+			cl.stats.Hits++
+			cl.remoteHits++
+			*served = append(*served, id)
+			return cl.remoteRead(at, int(owner), node, size)
+		}
+	}
+	n.ld.recordMiss(id)
+	if cl.cfg.Cache.Substitute == SubstituteLCache {
+		if sub, ok := n.l.substitute(n.rng); ok {
+			cl.stats.Substitutions++
+			*served = append(*served, sub)
+			return at + cl.cfg.Cache.HitLatency
+		}
+	}
+	cl.stats.Misses++
+	at = cl.backend.ReadSample(at, id)
+	*served = append(*served, id)
+	return at
+}

@@ -1,0 +1,75 @@
+package icache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icache/internal/dataset"
+)
+
+// TestHCacheAdmissionProperty checks Algorithm 1's admission rule under
+// random traffic: whenever an offer is rejected by a full cache, the
+// incoming importance must not exceed the minimum resident importance; and
+// whenever eviction happens, only lower-importance residents are displaced.
+func TestHCacheAdmissionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capBytes = 10 * 1000
+		h := newHCache(capBytes)
+		values := map[dataset.SampleID]float64{}
+		for op := 0; op < 1500; op++ {
+			id := dataset.SampleID(rng.Intn(200))
+			iv := rng.Float64()
+			if h.contains(id) {
+				// Re-offer of a resident is a no-op admit.
+				if !h.offer(id, 1000, iv) {
+					return false
+				}
+				continue
+			}
+			full := h.used+1000 > capBytes
+			var minIV float64
+			if full {
+				min, ok := h.heap.Min()
+				if !ok {
+					return false
+				}
+				minIV = min.IV
+			}
+			admitted := h.offer(id, 1000, iv)
+			switch {
+			case !full:
+				if !admitted {
+					return false // room existed
+				}
+				values[id] = iv
+			case admitted:
+				// Must have displaced strictly less important residents.
+				if iv <= minIV {
+					return false
+				}
+				values[id] = iv
+			default:
+				// Rejected: incoming must not beat the eviction candidate.
+				if iv > minIV {
+					return false
+				}
+			}
+			// Mirror evictions.
+			for vid := range values {
+				if !h.contains(vid) {
+					delete(values, vid)
+				}
+			}
+			// Structural invariants.
+			if h.used > capBytes || h.len() != h.heap.Len() || h.len() != len(values) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

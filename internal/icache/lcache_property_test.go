@@ -1,0 +1,130 @@
+package icache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icache/internal/dataset"
+)
+
+// lcacheModel is the reference the real lcache is checked against: a plain
+// map of residents plus a used set.
+type lcacheModel struct {
+	resident map[dataset.SampleID]int
+	used     map[dataset.SampleID]bool
+	capBytes int64
+	usedB    int64
+}
+
+func (m *lcacheModel) bytes() int64 {
+	var b int64
+	for _, size := range m.resident {
+		b += int64(size)
+	}
+	return b
+}
+
+// TestLCacheModelProperty drives the L-cache with random operation
+// sequences and checks every invariant the design depends on:
+//
+//   - byte budget is never exceeded;
+//   - takeExact serves a resident at most once per epoch;
+//   - substitute only ever returns unused residents, each at most once;
+//   - the unused pool always equals residents minus this epoch's used set.
+func TestLCacheModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capBytes = 20_000
+		l := newLCache(capBytes)
+		model := &lcacheModel{
+			resident: map[dataset.SampleID]int{},
+			used:     map[dataset.SampleID]bool{},
+			capBytes: capBytes,
+		}
+		for op := 0; op < 2000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				id := dataset.SampleID(rng.Intn(100))
+				size := 100 + rng.Intn(900)
+				if _, dup := model.resident[id]; dup {
+					l.insert(id, size) // no-op on the real cache too
+					break
+				}
+				if int64(size) > capBytes {
+					if l.insert(id, size) {
+						return false // oversized must be rejected
+					}
+					break
+				}
+				if !l.insert(id, size) {
+					return false
+				}
+				// Mirror evictions: the real cache evicts used-first then
+				// oldest; the model just drops whatever the real cache no
+				// longer contains.
+				for mid := range model.resident {
+					if !l.contains(mid) {
+						delete(model.resident, mid)
+						delete(model.used, mid)
+					}
+				}
+				model.resident[id] = size
+			case 4, 5, 6: // takeExact
+				id := dataset.SampleID(rng.Intn(100))
+				_, res := model.resident[id]
+				want := res && !model.used[id]
+				if got := l.takeExact(id); got != want {
+					return false
+				}
+				if want {
+					model.used[id] = true
+				}
+			case 7, 8: // substitute
+				sub, ok := l.substitute(rng)
+				unusedCount := 0
+				for id := range model.resident {
+					if !model.used[id] {
+						unusedCount++
+					}
+				}
+				if ok != (unusedCount > 0) {
+					return false
+				}
+				if ok {
+					if _, res := model.resident[sub]; !res || model.used[sub] {
+						return false // substitute must be an unused resident
+					}
+					model.used[sub] = true
+				}
+			case 9: // epoch boundary
+				l.beginEpoch()
+				model.used = map[dataset.SampleID]bool{}
+			}
+
+			// Invariants after every step.
+			if l.used > capBytes {
+				return false
+			}
+			if l.len() != len(model.resident) {
+				return false
+			}
+			wantUnused := 0
+			for id := range model.resident {
+				if !model.used[id] {
+					wantUnused++
+				}
+			}
+			if l.unusedCount() != wantUnused {
+				return false
+			}
+			if l.unusedBytes() > l.used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package icache
+
+import (
+	"math/rand"
+	"testing"
+
+	"icache/internal/sampling"
+)
+
+// TestCoordinatorThreeJobs exercises the multi-job module beyond the
+// paper's two-job experiment: three jobs with distinct importance rankings
+// sharing one cache must all make progress, all get probed, and the
+// combined H-list must stay within the H-cache's sample capacity.
+func TestCoordinatorThreeJobs(t *testing.T) {
+	back := testBackend(t)
+	srv := testServer(t, back)
+	coord := NewCoordinator(srv, CoordAIV)
+
+	handles := make([]*JobHandle, 3)
+	trackers := make([]*sampling.Tracker, 3)
+	for i := range handles {
+		h, err := coord.Register("job", sampling.DefaultIIS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		trackers[i] = trainedTracker(t, back.Spec().NumSamples, int64(50+i*7))
+	}
+
+	for epoch := 0; epoch < 3; epoch++ {
+		for i, h := range handles {
+			runJobEpoch(t, h, trackers[i], epoch, int64(epoch*10+i))
+		}
+	}
+
+	for i, h := range handles {
+		if h.Stats().Requests() == 0 {
+			t.Fatalf("job %d got no requests attributed", i)
+		}
+		ratio, _, err := coord.Benefit(h.ID())
+		if err != nil || ratio <= 0 {
+			t.Fatalf("job %d benefit %g/%v", i, ratio, err)
+		}
+	}
+	hl := srv.ActiveHList()
+	if hl.Len() == 0 {
+		t.Fatal("no combined H-list")
+	}
+	if hl.Len() > coord.hCapSamples() {
+		t.Fatalf("combined list %d exceeds H-cache capacity %d", hl.Len(), coord.hCapSamples())
+	}
+}
+
+// TestCoordinatorJobsSeeSubstitutionOnlyOnLPath verifies the routed fetch:
+// a job's own H-samples are never substituted even when the shared manager
+// values them at zero.
+func TestCoordinatorJobsSeeSubstitutionOnlyOnLPath(t *testing.T) {
+	back := testBackend(t)
+	srv := testServer(t, back)
+	coord := NewCoordinator(srv, CoordSingleJob)
+	jobA, _ := coord.Register("favored", sampling.DefaultIIS())
+	jobB, _ := coord.Register("unfavored", sampling.DefaultIIS())
+	coord.SetFavored(jobA.ID())
+
+	trA := trainedTracker(t, back.Spec().NumSamples, 71)
+	trB := trainedTracker(t, back.Spec().NumSamples, 72)
+	runJobEpoch(t, jobA, trA, 0, 1)
+
+	// Job B's epoch: fetch its schedule and verify that every sample its
+	// own H-list marks as H comes back exactly (never substituted).
+	rng := rand.New(rand.NewSource(9))
+	sched := jobB.BeginEpoch(0, 0, trB, rng)
+	own := jobB.j.ownHList
+	for _, batch := range sched.Batches(128) {
+		_, served := jobB.FetchBatch(0, batch)
+		for i, want := range batch {
+			if own.Contains(want) && served[i] != want {
+				t.Fatalf("unfavored job's H-sample %d substituted with %d", want, served[i])
+			}
+		}
+	}
+}

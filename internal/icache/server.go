@@ -1,0 +1,458 @@
+package icache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"icache/internal/dataset"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/simclock"
+	"icache/internal/storage"
+	"icache/internal/trace"
+)
+
+// Server is a single-node iCache instance: the cache manager plus the
+// H-cache and L-cache regions. It implements the data-service contract the
+// training pipeline consumes (BeginEpoch / FetchBatch / Stats / Name).
+//
+// A Server used by a single job manages its H-list directly from that job's
+// importance tracker. Multi-job sharing goes through a Coordinator, which
+// feeds the server an aggregated H-list instead (see multijob.go).
+type Server struct {
+	cfg     Config
+	backend *storage.Backend
+	spec    dataset.Spec
+	iis     sampling.IISConfig
+	rng     *rand.Rand
+
+	h  *hcache
+	l  *lcache
+	ld *loader
+	// t2 is the optional local-storage spill tier (nil when disabled).
+	t2 *tier2
+	// userEvict is the externally registered eviction observer; the server
+	// chains it after its own spill hook.
+	userEvict func(dataset.SampleID)
+
+	// hlist is the active H-list: the job's own in single-job mode, or the
+	// AIV-combined list installed by a Coordinator. hlistIV indexes its
+	// importance values by sample ID.
+	hlist   *sampling.HList
+	hlistIV map[dataset.SampleID]float64
+	// managed reports whether a Coordinator owns H-list installation;
+	// BeginEpoch then leaves the active list alone.
+	managed bool
+
+	stats metrics.CacheStats
+
+	// Per-sample access frequency EMAs for PartitionByFrequency.
+	freqH, freqL         float64
+	epochHReq, epochLReq int64
+
+	// tracer records request-level events when set (nil = off).
+	tracer *trace.Recorder
+	epoch  int64
+}
+
+// NewServer builds an iCache server over the given backend.
+func NewServer(backend *storage.Backend, cfg Config, iis sampling.IISConfig, seed int64) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iis.Validate(); err != nil {
+		return nil, err
+	}
+	hBytes := int64(float64(cfg.CapacityBytes) * cfg.HShare)
+	lBytes := cfg.CapacityBytes - hBytes
+	if !cfg.EnableLCache {
+		hBytes, lBytes = cfg.CapacityBytes, 0
+	}
+	// The loading unit can never exceed what the L-cache can absorb without
+	// destroying unused residents; half the region keeps loading smooth.
+	// (The paper instead floors the L-cache at one package; clamping the
+	// package handles tiny caches in the same spirit.)
+	pkg := cfg.PackageBytes
+	if cfg.EnableLCache && int64(pkg) > lBytes/2 {
+		pkg = int(lBytes / 2)
+		if pkg < backend.Spec().MeanSampleBytes {
+			pkg = backend.Spec().MeanSampleBytes
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		spec:    backend.Spec(),
+		iis:     iis,
+		rng:     rng,
+		h:       newHCache(hBytes),
+		l:       newLCache(lBytes),
+		ld:      newLoaderWithMode(backend, pkg, cfg.RepackPerSample, cfg.Packaging, rand.New(rand.NewSource(seed+1))),
+		hlist:   sampling.NewHList(nil),
+	}
+	if cfg.Tier2Bytes > 0 {
+		s.t2 = newTier2(cfg.Tier2Bytes, cfg.Tier2ReadLatency, cfg.Tier2Bandwidth)
+		s.h.onEvict = func(id dataset.SampleID) {
+			s.t2.spill(id, s.spec.SampleBytes(id))
+			if s.userEvict != nil {
+				s.userEvict(id)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Name implements the data-service contract.
+func (s *Server) Name() string {
+	if !s.cfg.EnableLCache {
+		return "icache-hc" // the +HC ablation rung
+	}
+	return "icache"
+}
+
+// Stats implements the data-service contract.
+func (s *Server) Stats() metrics.CacheStats {
+	st := s.stats
+	st.Inserts = s.h.inserts + s.l.inserts
+	st.Evictions = s.h.evictions + s.l.evictions
+	return st
+}
+
+// SubstitutionSource declares the substitution severity class for the
+// accuracy model ("lcache", "hcache", or "none").
+func (s *Server) SubstitutionSource() string {
+	switch s.cfg.Substitute {
+	case SubstituteLCache:
+		return "lcache"
+	case SubstituteHCache:
+		return "hcache"
+	default:
+		return "none"
+	}
+}
+
+// HCacheLen and LCacheLen expose occupancy for tests and experiment output.
+func (s *Server) HCacheLen() int { return s.h.len() }
+func (s *Server) LCacheLen() int { return s.l.len() }
+
+// PackagesLoaded reports how many dynamic packages the loading thread has
+// fetched.
+func (s *Server) PackagesLoaded() int64 { return s.ld.packages }
+
+// LoaderWastedBytes reports bytes the loading thread transferred that could
+// not be cached (static packaging's read amplification; zero under dynamic
+// packaging).
+func (s *Server) LoaderWastedBytes() int64 { return s.ld.wastedBytes }
+
+// LoaderUsefulBytes reports bytes the loading path delivered into the
+// L-cache.
+func (s *Server) LoaderUsefulBytes() int64 { return s.ld.usefulBytes }
+
+// HShare reports the current fraction of capacity assigned to the H-cache.
+func (s *Server) HShare() float64 {
+	return float64(s.h.capBytes) / float64(s.cfg.CapacityBytes)
+}
+
+// BeginEpoch implements the data-service contract: it draws the epoch's IIS
+// schedule from the job's tracker, pushes the fresh H-list into the cache
+// manager (unless a Coordinator manages the list), repartitions, and resets
+// per-epoch L-cache state.
+func (s *Server) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker, rng *rand.Rand) sampling.Schedule {
+	sched, hl := sampling.IISSchedule(tr, s.iis, rng)
+	if !s.managed {
+		s.InstallHList(hl)
+	}
+	s.startEpoch(at)
+	return sched
+}
+
+// startEpoch performs the per-epoch manager duties shared by single-job and
+// coordinated modes.
+func (s *Server) startEpoch(at simclock.Time) {
+	s.tracer.Record(at, trace.KindEpoch, 0, s.epoch)
+	s.epoch++
+	s.repartition()
+	s.l.beginEpoch()
+	if s.cfg.EnableLCache && s.cfg.Packaging != PackagingStatic {
+		// Static chunks are read in the foreground on demand; only dynamic
+		// packaging has a background loading thread to roll forward.
+		s.ld.pump(at, s.hlist, s.h, s.l)
+		s.ld.deliver(at, s.l)
+	}
+	s.epochHReq, s.epochLReq = 0, 0
+}
+
+// InstallHList makes hl the active H-list and refreshes the H-heap's
+// importance values under the shadow-heap protocol.
+func (s *Server) InstallHList(hl *sampling.HList) {
+	s.hlistIV = make(map[dataset.SampleID]float64, hl.Len())
+	for _, it := range hl.Items {
+		s.hlistIV[it.ID] = it.IV
+	}
+	s.hlist = hl
+	s.h.refreshImportance(func(id dataset.SampleID) (float64, bool) {
+		iv, ok := s.hlistIV[id]
+		return iv, ok
+	})
+	s.tracer.Record(0, trace.KindRefresh, 0, int64(hl.Len()))
+}
+
+// SetManaged hands H-list installation over to a Coordinator.
+func (s *Server) SetManaged(managed bool) { s.managed = managed }
+
+// SetTracer attaches an event recorder (nil detaches). Tracing is off by
+// default and costs nothing when detached.
+func (s *Server) SetTracer(r *trace.Recorder) { s.tracer = r }
+
+// Tracer returns the attached recorder, if any.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
+
+// StartEpoch performs the per-epoch manager duties (repartition, L-cache
+// reset, loader catch-up) without drawing a schedule. The RPC server uses
+// it: over the wire the client owns the sampler, so the server only manages
+// cache state at epoch boundaries.
+func (s *Server) StartEpoch(at simclock.Time) { s.startEpoch(at) }
+
+// Drop removes a sample from whichever cache region holds it, reporting
+// whether it was resident. The distributed byte-serving layer uses it when
+// a directory claim is lost: the node must not keep a duplicate copy.
+func (s *Server) Drop(id dataset.SampleID) bool {
+	return s.h.remove(id) || s.l.remove(id)
+}
+
+// Resident reports whether a sample currently lives in either cache region.
+// The byte-serving RPC layer uses it to keep its payload store aligned with
+// the cache's admission decisions.
+func (s *Server) Resident(id dataset.SampleID) bool {
+	return s.h.contains(id) || s.l.contains(id)
+}
+
+// SetEvictObserver registers fn to be called with every sample evicted from
+// either cache region (payload-store invalidation on the RPC path). It
+// composes with the internal tier-2 spill hook when that is enabled.
+func (s *Server) SetEvictObserver(fn func(dataset.SampleID)) {
+	s.userEvict = fn
+	if s.t2 == nil {
+		s.h.onEvict = fn
+	}
+	s.l.onEvict = fn
+}
+
+// Tier2Hits and Tier2Len report local spill-tier activity (0 when the tier
+// is disabled).
+func (s *Server) Tier2Hits() int64 {
+	if s.t2 == nil {
+		return 0
+	}
+	return s.t2.hits
+}
+
+// Tier2Len reports the number of samples currently spilled.
+func (s *Server) Tier2Len() int {
+	if s.t2 == nil {
+		return 0
+	}
+	return len(s.t2.items)
+}
+
+// ActiveHList returns the H-list the cache currently manages by.
+func (s *Server) ActiveHList() *sampling.HList { return s.hlist }
+
+// repartition applies the configured partition policy.
+func (s *Server) repartition() {
+	if !s.cfg.EnableLCache || s.cfg.Partition != PartitionByFrequency {
+		return
+	}
+	nH := s.hlist.Len()
+	nL := s.spec.NumSamples - nH
+	if nH == 0 || nL <= 0 || s.epochHReq+s.epochLReq == 0 {
+		return
+	}
+	fH := float64(s.epochHReq) / float64(nH)
+	fL := float64(s.epochLReq) / float64(nL)
+	s.freqH = s.cfg.FreqDecay*s.freqH + (1-s.cfg.FreqDecay)*fH
+	s.freqL = s.cfg.FreqDecay*s.freqL + (1-s.cfg.FreqDecay)*fL
+	if s.freqH+s.freqL == 0 {
+		return
+	}
+	share := s.freqH / (s.freqH + s.freqL)
+	// Floors: the L-cache never shrinks below one package (§III-A), and the
+	// H-cache keeps a useful minimum.
+	hBytes := int64(share * float64(s.cfg.CapacityBytes))
+	if min := int64(s.ld.pkgBytes); s.cfg.CapacityBytes-hBytes < min {
+		hBytes = s.cfg.CapacityBytes - min
+	}
+	if hBytes < int64(s.ld.pkgBytes) {
+		hBytes = int64(s.ld.pkgBytes)
+	}
+	s.h.resize(hBytes)
+	s.l.resize(s.cfg.CapacityBytes - hBytes)
+}
+
+// FetchBatch implements Algorithm 1 for one worker fetching a mini-batch
+// sequentially from virtual time at. It returns the completion time and the
+// sample IDs actually served (substitution may swap L-samples).
+func (s *Server) FetchBatch(at simclock.Time, ids []dataset.SampleID) (simclock.Time, []dataset.SampleID) {
+	return s.FetchBatchRouted(at, ids, s.hlist)
+}
+
+// FetchBatchRouted is FetchBatch with an explicit routing H-list: requests
+// branch H vs L according to routing (the requesting job's own importance
+// view — H-samples are never substituted, Algorithm 1), while admission and
+// eviction keep using the manager's installed H-list (the AIV-combined one
+// under multi-job coordination, §III-D). For a single job the two lists
+// coincide and this is exactly FetchBatch.
+func (s *Server) FetchBatchRouted(at simclock.Time, ids []dataset.SampleID, routing *sampling.HList) (simclock.Time, []dataset.SampleID) {
+	served := make([]dataset.SampleID, 0, len(ids))
+	for _, id := range ids {
+		at = s.fetchOne(at, id, routing, &served)
+	}
+	return at, served
+}
+
+// fetchOne serves a single sample request, returning the new virtual time.
+func (s *Server) fetchOne(at simclock.Time, id dataset.SampleID, routing *sampling.HList, served *[]dataset.SampleID) simclock.Time {
+	if routing.Contains(id) {
+		s.epochHReq++
+		if s.h.contains(id) {
+			s.stats.Hits++
+			s.tracer.Record(at, trace.KindHit, id, 0)
+			*served = append(*served, id)
+			return at + s.cfg.HitLatency
+		}
+		iv, _ := s.hlistValue(id)
+		if s.t2 != nil {
+			if end, ok := s.t2.read(at, id); ok {
+				// Promote the spilled sample back into DRAM; its own spill
+				// hook recycles whatever this displaces.
+				s.stats.Hits++
+				s.h.offer(id, s.spec.SampleBytes(id), iv)
+				*served = append(*served, id)
+				return end
+			}
+		}
+		s.stats.Misses++
+		s.tracer.Record(at, trace.KindMiss, id, 0)
+		at = s.backend.ReadSample(at, id)
+		if s.h.offer(id, s.spec.SampleBytes(id), iv) {
+			s.tracer.Record(at, trace.KindAdmit, id, 0)
+		}
+		*served = append(*served, id)
+		return at
+	}
+
+	s.epochLReq++
+	if !s.cfg.EnableLCache {
+		s.stats.Misses++
+		s.tracer.Record(at, trace.KindMiss, id, 0)
+		at = s.backend.ReadSample(at, id)
+		*served = append(*served, id)
+		return at
+	}
+	if s.cfg.Packaging == PackagingStatic {
+		return s.fetchStaticChunk(at, id, served)
+	}
+
+	// Bring the background loader up to the current instant first.
+	s.ld.pump(at, s.hlist, s.h, s.l)
+	s.ld.deliver(at, s.l)
+
+	if s.l.takeExact(id) {
+		s.stats.Hits++
+		s.tracer.Record(at, trace.KindHit, id, 0)
+		*served = append(*served, id)
+		return at + s.cfg.HitLatency
+	}
+	s.ld.recordMiss(id)
+
+	switch s.cfg.Substitute {
+	case SubstituteLCache:
+		if sub, ok := s.l.substitute(s.rng); ok {
+			s.stats.Substitutions++
+			s.tracer.Record(at, trace.KindSubstitute, id, int64(sub))
+			*served = append(*served, sub)
+			return at + s.cfg.HitLatency
+		}
+	case SubstituteHCache:
+		if sub, ok := s.randomHResident(); ok {
+			s.stats.Substitutions++
+			s.tracer.Record(at, trace.KindSubstitute, id, int64(sub))
+			*served = append(*served, sub)
+			return at + s.cfg.HitLatency
+		}
+	case SubstituteNone:
+		// fall through to storage
+	}
+
+	s.stats.Misses++
+	s.tracer.Record(at, trace.KindMiss, id, 0)
+	at = s.backend.ReadSample(at, id)
+	*served = append(*served, id)
+	return at
+}
+
+// fetchStaticChunk serves an L-request under static (TFRecord-style)
+// pre-packed chunks: exact serving, no substitution, no background loader.
+// A miss reads the *entire* fixed chunk holding the sample in the
+// foreground — the read amplification §II-C ascribes to static packaging
+// under importance sampling — and caches the chunk members for whatever
+// reuse survives eviction.
+func (s *Server) fetchStaticChunk(at simclock.Time, id dataset.SampleID, served *[]dataset.SampleID) simclock.Time {
+	if s.l.contains(id) {
+		s.l.takeExact(id) // best effort: mark used if still unused
+		s.stats.Hits++
+		*served = append(*served, id)
+		return at + s.cfg.HitLatency
+	}
+	chunkSamples := s.ld.pkgBytes / s.spec.MeanSampleBytes
+	if chunkSamples < 1 {
+		chunkSamples = 1
+	}
+	first := (int(id) / chunkSamples) * chunkSamples
+	last := first + chunkSamples
+	if last > s.spec.NumSamples {
+		last = s.spec.NumSamples
+	}
+	total := 0
+	for i := first; i < last; i++ {
+		total += s.spec.SampleBytes(dataset.SampleID(i))
+	}
+	s.stats.Misses++
+	s.tracer.Record(at, trace.KindMiss, id, 0)
+	at = s.backend.ReadPackage(at, total)
+	for i := first; i < last; i++ {
+		cid := dataset.SampleID(i)
+		size := s.spec.SampleBytes(cid)
+		if cid == id {
+			continue // the requested sample is consumed, not cached
+		}
+		if s.hlist.Contains(cid) || s.h.contains(cid) || s.l.contains(cid) {
+			s.ld.wastedBytes += int64(size)
+			continue
+		}
+		if s.l.insert(cid, size) {
+			s.ld.usefulBytes += int64(size)
+		}
+	}
+	*served = append(*served, id)
+	return at
+}
+
+// hlistValue looks up id's importance value in the active H-list.
+func (s *Server) hlistValue(id dataset.SampleID) (float64, bool) {
+	iv, ok := s.hlistIV[id]
+	return iv, ok
+}
+
+// randomHResident picks a uniformly random H-cache resident (only used by
+// the SubstituteHCache policy of Table III).
+func (s *Server) randomHResident() (dataset.SampleID, bool) {
+	return s.h.randomResident(s.rng)
+}
+
+// String describes the server configuration.
+func (s *Server) String() string {
+	return fmt.Sprintf("icache{cap=%dB hshare=%.2f lcache=%v sub=%v}",
+		s.cfg.CapacityBytes, s.cfg.HShare, s.cfg.EnableLCache, s.cfg.Substitute)
+}

@@ -1,0 +1,78 @@
+package icache
+
+import (
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/simclock"
+)
+
+// tier2 is the optional local-storage spill tier discussed in §VI: DRAM is
+// the cache the paper ships, but nodes usually also have NVMe (or PM) that
+// is far faster than the remote backend. When enabled, H-cache evictions
+// spill here instead of vanishing, and an H-miss checks this tier before
+// paying a remote read. Reads cost real (simulated) time through a local
+// device model, so the tier helps exactly as much as its latency advantage.
+type tier2 struct {
+	items    map[dataset.SampleID]int
+	order    []dataset.SampleID // FIFO spill order for eviction
+	capBytes int64
+	used     int64
+
+	latency   time.Duration
+	bandwidth float64
+	dev       *simclock.Pool
+
+	hits   int64
+	spills int64
+}
+
+func newTier2(capBytes int64, latency time.Duration, bandwidth float64) *tier2 {
+	return &tier2{
+		items:     make(map[dataset.SampleID]int),
+		capBytes:  capBytes,
+		latency:   latency,
+		bandwidth: bandwidth,
+		dev:       simclock.NewPool(8),
+	}
+}
+
+func (t *tier2) contains(id dataset.SampleID) bool {
+	_, ok := t.items[id]
+	return ok
+}
+
+// spill admits an evicted sample, dropping oldest spills to fit.
+func (t *tier2) spill(id dataset.SampleID, size int) {
+	if t.contains(id) || int64(size) > t.capBytes {
+		return
+	}
+	for t.used+int64(size) > t.capBytes {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		if vs, ok := t.items[victim]; ok {
+			delete(t.items, victim)
+			t.used -= int64(vs)
+		}
+	}
+	t.items[id] = size
+	t.order = append(t.order, id)
+	t.used += int64(size)
+	t.spills++
+}
+
+// read serves a sample from the local device, removing it (it is being
+// promoted back to DRAM). Returns the completion time and whether it was
+// present.
+func (t *tier2) read(at simclock.Time, id dataset.SampleID) (simclock.Time, bool) {
+	size, ok := t.items[id]
+	if !ok {
+		return at, false
+	}
+	delete(t.items, id)
+	t.used -= int64(size)
+	t.hits++
+	service := t.latency + time.Duration(float64(size)/t.bandwidth*float64(time.Second))
+	_, end := t.dev.Acquire(at, service)
+	return end, true
+}

@@ -1,0 +1,74 @@
+package icache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"icache/internal/simclock"
+	"icache/internal/trace"
+)
+
+func TestServerTracing(t *testing.T) {
+	back := testBackend(t)
+	srv := testServer(t, back)
+	rec := trace.NewRecorder(1 << 16)
+	srv.SetTracer(rec)
+	if srv.Tracer() != rec {
+		t.Fatal("tracer not attached")
+	}
+
+	tr := trainedTracker(t, back.Spec().NumSamples, 3)
+	rng := rand.New(rand.NewSource(4))
+	var at simclock.Time
+	for e := 0; e < 3; e++ {
+		sched := srv.BeginEpoch(at, e, tr, rng)
+		for _, batch := range sched.Batches(256) {
+			at, _ = srv.FetchBatch(at, batch)
+		}
+	}
+
+	counts := rec.Counts()
+	st := srv.Stats()
+	if int64(counts[trace.KindEpoch]) != 3 {
+		t.Fatalf("epoch events = %d, want 3", counts[trace.KindEpoch])
+	}
+	if counts[trace.KindRefresh] != 3 {
+		t.Fatalf("refresh events = %d, want 3", counts[trace.KindRefresh])
+	}
+	// The ring is large enough to retain everything, so event counts must
+	// equal the server's own counters.
+	if int64(counts[trace.KindHit]) != st.Hits {
+		t.Fatalf("hit events %d != stats %d", counts[trace.KindHit], st.Hits)
+	}
+	if int64(counts[trace.KindMiss]) != st.Misses {
+		t.Fatalf("miss events %d != stats %d", counts[trace.KindMiss], st.Misses)
+	}
+	if int64(counts[trace.KindSubstitute]) != st.Substitutions {
+		t.Fatalf("substitute events %d != stats %d", counts[trace.KindSubstitute], st.Substitutions)
+	}
+	if counts[trace.KindAdmit] == 0 {
+		t.Fatal("no admit events")
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "miss") {
+		t.Fatal("CSV dump missing events")
+	}
+}
+
+func TestServerTracingOffByDefault(t *testing.T) {
+	back := testBackend(t)
+	srv := testServer(t, back)
+	tr := trainedTracker(t, back.Spec().NumSamples, 3)
+	rng := rand.New(rand.NewSource(4))
+	sched := srv.BeginEpoch(0, 0, tr, rng)
+	// Must simply not panic with a nil tracer.
+	srv.FetchBatch(0, sched.Fetch[:64])
+	if srv.Tracer() != nil {
+		t.Fatal("tracer attached by default")
+	}
+}

@@ -1,0 +1,80 @@
+package impheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"icache/internal/dataset"
+)
+
+// BenchmarkHeapInsertPop measures the core H-heap operations at H-cache
+// scale (the paper's ImageNet H-cache holds ~256k entries).
+func BenchmarkHeapInsertPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New()
+		for k := 0; k < 10000; k++ {
+			_ = h.Insert(dataset.SampleID(k), rng.Float64())
+		}
+		for k := 0; k < 10000; k++ {
+			h.PopMin()
+		}
+	}
+}
+
+// BenchmarkHeapUpdate measures in-place importance updates.
+func BenchmarkHeapUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := New()
+	for k := 0; k < 10000; k++ {
+		_ = h.Insert(dataset.SampleID(k), rng.Float64())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Update(dataset.SampleID(i%10000), rng.Float64())
+	}
+}
+
+// BenchmarkShadowedRefresh is the ablation bench for the shadow-heap design
+// (§III-B): freeze → a churn of updates/inserts → thaw-merge, versus paying
+// an eager re-sort on every single update. The shadow protocol amortizes an
+// epoch's worth of changes into one O(n) rebuild.
+func BenchmarkShadowedRefresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewShadowed()
+		for k := 0; k < 10000; k++ {
+			_ = s.Insert(dataset.SampleID(k), rng.Float64())
+		}
+		_ = s.Freeze()
+		for k := 0; k < 5000; k++ {
+			s.Update(dataset.SampleID(k*2), rng.Float64())
+		}
+		for k := 10000; k < 11000; k++ {
+			_ = s.Insert(dataset.SampleID(k), rng.Float64())
+		}
+		_ = s.Thaw()
+	}
+}
+
+// BenchmarkEagerUpdates is the baseline the shadow heap is compared
+// against: every update immediately re-heapifies.
+func BenchmarkEagerUpdates(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New()
+		for k := 0; k < 10000; k++ {
+			_ = h.Insert(dataset.SampleID(k), rng.Float64())
+		}
+		for k := 0; k < 5000; k++ {
+			h.Update(dataset.SampleID(k*2), rng.Float64())
+		}
+		for k := 10000; k < 11000; k++ {
+			_ = h.Insert(dataset.SampleID(k), rng.Float64())
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package impheap_test
+
+import (
+	"fmt"
+
+	"icache/internal/impheap"
+)
+
+// The H-heap's core loop: the least important cached sample is always the
+// eviction candidate, and the shadow protocol defers reordering while the
+// heap is frozen for an epoch.
+func ExampleShadowed() {
+	h := impheap.NewShadowed()
+	_ = h.Insert(101, 0.9) // hard sample
+	_ = h.Insert(102, 0.2) // easy sample
+	_ = h.Insert(103, 0.5)
+
+	min, _ := h.Min()
+	fmt.Printf("eviction candidate: sample %d (iv %.1f)\n", min.ID, min.IV)
+
+	// Freeze for the epoch; importance updates land in the shadow.
+	_ = h.Freeze()
+	h.Update(102, 0.95) // sample 102 became hard
+	min, _ = h.Min()
+	fmt.Printf("frozen candidate:   sample %d (stale ordering)\n", min.ID)
+
+	// The epoch boundary merges the shadow.
+	_ = h.Thaw()
+	min, _ = h.Min()
+	fmt.Printf("thawed candidate:   sample %d (iv %.1f)\n", min.ID, min.IV)
+	// Output:
+	// eviction candidate: sample 102 (iv 0.2)
+	// frozen candidate:   sample 102 (stale ordering)
+	// thawed candidate:   sample 103 (iv 0.5)
+}

@@ -1,0 +1,387 @@
+package impheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icache/internal/dataset"
+)
+
+func TestInsertAndMin(t *testing.T) {
+	h := New()
+	for _, e := range []Entry{{3, 0.5}, {1, 0.2}, {2, 0.9}} {
+		if err := h.Insert(e.ID, e.IV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, ok := h.Min()
+	if !ok || min.ID != 1 || min.IV != 0.2 {
+		t.Fatalf("Min = %+v, %v; want {1 0.2}", min, ok)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	h := New()
+	if err := h.Insert(1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(1, 0.2); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+}
+
+func TestPopMinDrainsSorted(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := h.Insert(dataset.SampleID(i), rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev float64 = -1
+	for i := 0; i < n; i++ {
+		e, ok := h.PopMin()
+		if !ok {
+			t.Fatalf("heap empty after %d pops, want %d", i, n)
+		}
+		if e.IV < prev {
+			t.Fatalf("pop %d: IV %g < previous %g", i, e.IV, prev)
+		}
+		prev = e.IV
+	}
+	if _, ok := h.PopMin(); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+}
+
+func TestRemoveAndUpdate(t *testing.T) {
+	h := New()
+	for i := 0; i < 10; i++ {
+		_ = h.Insert(dataset.SampleID(i), float64(i))
+	}
+	if !h.Remove(0) {
+		t.Fatal("Remove(0) = false")
+	}
+	if h.Remove(0) {
+		t.Fatal("second Remove(0) = true")
+	}
+	min, _ := h.Min()
+	if min.ID != 1 {
+		t.Fatalf("after removing 0, Min.ID = %d, want 1", min.ID)
+	}
+	if !h.Update(9, -5) {
+		t.Fatal("Update(9) = false")
+	}
+	min, _ = h.Min()
+	if min.ID != 9 || min.IV != -5 {
+		t.Fatalf("after Update, Min = %+v, want {9 -5}", min)
+	}
+	if h.Update(1234, 0) {
+		t.Fatal("Update of absent ID = true")
+	}
+}
+
+func TestValueAndContains(t *testing.T) {
+	h := New()
+	_ = h.Insert(5, 0.7)
+	if iv, ok := h.Value(5); !ok || iv != 0.7 {
+		t.Fatalf("Value(5) = %g,%v", iv, ok)
+	}
+	if _, ok := h.Value(6); ok {
+		t.Fatal("Value of absent ID found")
+	}
+	if !h.Contains(5) || h.Contains(6) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestNewFromEntriesHeapifies(t *testing.T) {
+	es := []Entry{{1, 5}, {2, 1}, {3, 3}, {4, 0.5}}
+	h, err := NewFromEntries(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := h.Min()
+	if min.ID != 4 {
+		t.Fatalf("Min.ID = %d, want 4", min.ID)
+	}
+	if _, err := NewFromEntries([]Entry{{1, 1}, {1, 2}}); err == nil {
+		t.Fatal("duplicate entries accepted")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	h := New()
+	_ = h.Insert(9, 0.5)
+	_ = h.Insert(2, 0.5)
+	_ = h.Insert(7, 0.5)
+	min, _ := h.PopMin()
+	if min.ID != 2 {
+		t.Fatalf("tie broken to ID %d, want lowest ID 2", min.ID)
+	}
+}
+
+// Property: after any sequence of inserts/removes/updates the heap pops in
+// nondecreasing order and matches a reference map.
+func TestHeapModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New()
+		ref := map[dataset.SampleID]float64{}
+		for op := 0; op < 500; op++ {
+			id := dataset.SampleID(rng.Intn(100))
+			switch rng.Intn(3) {
+			case 0:
+				iv := rng.Float64()
+				if _, exists := ref[id]; exists {
+					if err := h.Insert(id, iv); err == nil {
+						return false // must reject duplicates
+					}
+				} else if err := h.Insert(id, iv); err != nil {
+					return false
+				} else {
+					ref[id] = iv
+				}
+			case 1:
+				_, exists := ref[id]
+				if h.Remove(id) != exists {
+					return false
+				}
+				delete(ref, id)
+			case 2:
+				iv := rng.Float64()
+				_, exists := ref[id]
+				if h.Update(id, iv) != exists {
+					return false
+				}
+				if exists {
+					ref[id] = iv
+				}
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		var want []float64
+		for _, iv := range ref {
+			want = append(want, iv)
+		}
+		sort.Float64s(want)
+		for _, w := range want {
+			e, ok := h.PopMin()
+			if !ok || e.IV != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowedNormalModePassesThrough(t *testing.T) {
+	s := NewShadowed()
+	if err := s.Insert(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Update(1, 0.1) {
+		t.Fatal("Update failed")
+	}
+	min, _ := s.Min()
+	if min.IV != 0.1 {
+		t.Fatalf("Min.IV = %g, want updated 0.1", min.IV)
+	}
+}
+
+func TestShadowedFreezeKeepsMainOrderingStale(t *testing.T) {
+	s := NewShadowed()
+	_ = s.Insert(1, 0.5)
+	_ = s.Insert(2, 0.9)
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// Update makes 2 the smallest, but the frozen main heap must still
+	// surface 1 as the eviction candidate (the paper's read-only rule).
+	if !s.Update(2, 0.01) {
+		t.Fatal("Update while frozen failed")
+	}
+	min, _ := s.Min()
+	if min.ID != 1 {
+		t.Fatalf("frozen Min.ID = %d, want stale candidate 1", min.ID)
+	}
+	// Value must still report the fresh number.
+	if iv, _ := s.Value(2); iv != 0.01 {
+		t.Fatalf("Value(2) = %g, want pending 0.01", iv)
+	}
+	if err := s.Thaw(); err != nil {
+		t.Fatal(err)
+	}
+	min, _ = s.Min()
+	if min.ID != 2 || min.IV != 0.01 {
+		t.Fatalf("thawed Min = %+v, want {2 0.01}", min)
+	}
+}
+
+func TestShadowedFrozenInsertGoesToShadow(t *testing.T) {
+	s := NewShadowed()
+	_ = s.Insert(1, 0.5)
+	_ = s.Freeze()
+	if err := s.Insert(2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Despite 2 having the smallest IV, the frozen main heap drives Min.
+	min, _ := s.Min()
+	if min.ID != 1 {
+		t.Fatalf("frozen Min.ID = %d, want 1", min.ID)
+	}
+	if !s.Contains(2) {
+		t.Fatal("shadow entry invisible to Contains")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	_ = s.Thaw()
+	min, _ = s.Min()
+	if min.ID != 2 {
+		t.Fatalf("thawed Min.ID = %d, want 2", min.ID)
+	}
+}
+
+func TestShadowedEvictionAllowedWhileFrozen(t *testing.T) {
+	s := NewShadowed()
+	_ = s.Insert(1, 0.5)
+	_ = s.Insert(2, 0.9)
+	_ = s.Freeze()
+	e, ok := s.PopMin()
+	if !ok || e.ID != 1 {
+		t.Fatalf("PopMin while frozen = %+v,%v; want {1 0.5}", e, ok)
+	}
+	if !s.Remove(2) {
+		t.Fatal("Remove while frozen failed")
+	}
+	// Main empty: Min falls back to shadow.
+	_ = s.Insert(3, 0.3)
+	min, ok := s.Min()
+	if !ok || min.ID != 3 {
+		t.Fatalf("fallback Min = %+v,%v; want shadow entry 3", min, ok)
+	}
+}
+
+func TestShadowedDoubleFreezeAndThawErrors(t *testing.T) {
+	s := NewShadowed()
+	if err := s.Thaw(); err == nil {
+		t.Fatal("Thaw of unfrozen heap succeeded")
+	}
+	_ = s.Freeze()
+	if err := s.Freeze(); err == nil {
+		t.Fatal("double Freeze succeeded")
+	}
+	if !s.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+}
+
+func TestShadowedDuplicateAcrossHeapsRejected(t *testing.T) {
+	s := NewShadowed()
+	_ = s.Insert(1, 0.5)
+	_ = s.Freeze()
+	if err := s.Insert(1, 0.9); err == nil {
+		t.Fatal("insert of ID already in main accepted into shadow")
+	}
+	_ = s.Insert(2, 0.7)
+	if err := s.Insert(2, 0.8); err == nil {
+		t.Fatal("insert of ID already in shadow accepted")
+	}
+}
+
+func TestShadowedPendingUpdateDroppedOnEvict(t *testing.T) {
+	s := NewShadowed()
+	_ = s.Insert(1, 0.5)
+	_ = s.Freeze()
+	_ = s.Update(1, 0.9)
+	s.PopMin() // evicts 1; its pending update must not survive the thaw
+	_ = s.Thaw()
+	if s.Contains(1) {
+		t.Fatal("evicted entry resurrected by Thaw")
+	}
+}
+
+// Property: a shadowed heap after freeze → random ops → thaw holds exactly
+// the same (id, iv) set as an eagerly-updated plain map.
+func TestShadowedMergeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewShadowed()
+		ref := map[dataset.SampleID]float64{}
+		for i := 0; i < 50; i++ {
+			id := dataset.SampleID(i)
+			iv := rng.Float64()
+			if s.Insert(id, iv) == nil {
+				ref[id] = iv
+			}
+		}
+		if err := s.Freeze(); err != nil {
+			return false
+		}
+		for op := 0; op < 300; op++ {
+			id := dataset.SampleID(rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0:
+				iv := rng.Float64()
+				if s.Insert(id, iv) == nil {
+					if _, dup := ref[id]; dup {
+						return false
+					}
+					ref[id] = iv
+				}
+			case 1:
+				_, exists := ref[id]
+				if s.Remove(id) != exists {
+					return false
+				}
+				delete(ref, id)
+			case 2:
+				iv := rng.Float64()
+				_, exists := ref[id]
+				if s.Update(id, iv) != exists {
+					return false
+				}
+				if exists {
+					ref[id] = iv
+				}
+			}
+		}
+		if err := s.Thaw(); err != nil {
+			return false
+		}
+		got := s.Entries()
+		if len(got) != len(ref) {
+			return false
+		}
+		for _, e := range got {
+			if ref[e.ID] != e.IV {
+				return false
+			}
+		}
+		// And the post-thaw pop order must be globally sorted.
+		prev := -1.0
+		for range got {
+			e, ok := s.PopMin()
+			if !ok || e.IV < prev {
+				return false
+			}
+			prev = e.IV
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package metrics holds the counters and small statistics helpers shared by
+// the cache implementations, the training simulator, and the experiment
+// harness. Keeping them in one place lets every scheme report hit ratios and
+// I/O breakdowns in exactly the way the paper's figures do.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// CacheStats counts cache-level events. The paper's "cache hit ratio"
+// figures count substitution-served requests as hits (that is explicitly why
+// enabling the L-cache raises the hit ratio from 25% to 37% in Fig. 11), so
+// HitRatio includes Substitutions.
+type CacheStats struct {
+	Hits          int64 // requests served from cached copies of the requested sample
+	Misses        int64 // requests that went to backend storage
+	Substitutions int64 // requests served by a different cached sample
+	Inserts       int64 // samples admitted into the cache
+	Evictions     int64 // samples evicted to make room
+	Rejections    int64 // fetched samples the policy declined to admit
+}
+
+// Add accumulates o into s.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Substitutions += o.Substitutions
+	s.Inserts += o.Inserts
+	s.Evictions += o.Evictions
+	s.Rejections += o.Rejections
+}
+
+// Requests reports the total number of sample requests seen.
+func (s CacheStats) Requests() int64 { return s.Hits + s.Misses + s.Substitutions }
+
+// HitRatio reports the fraction of requests served from memory (true hits
+// plus substitution hits). Zero requests yields 0.
+func (s CacheStats) HitRatio() float64 {
+	req := s.Requests()
+	if req == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Substitutions) / float64(req)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d subs=%d hitRatio=%.3f inserts=%d evictions=%d",
+		s.Hits, s.Misses, s.Substitutions, s.HitRatio(), s.Inserts, s.Evictions)
+}
+
+// EpochStats describes one simulated training epoch of one job.
+type EpochStats struct {
+	Epoch int
+	// Duration is wall time of the epoch (virtual).
+	Duration time.Duration
+	// IOStall is time the GPU spent waiting for data — the paper's "I/O
+	// time" / data-stall metric.
+	IOStall time.Duration
+	// Compute is time the GPU spent computing.
+	Compute time.Duration
+	// FetchBusy is cumulative time workers spent fetching (can exceed
+	// Duration because workers run in parallel).
+	FetchBusy time.Duration
+	// SamplesFetched and SamplesTrained count the epoch's data volume.
+	SamplesFetched int
+	SamplesTrained int
+	// Cache is the epoch's cache-event delta.
+	Cache CacheStats
+	// Top1 and Top5 are the model's accuracy at the end of this epoch.
+	Top1, Top5 float64
+}
+
+// RunStats aggregates a whole training run.
+type RunStats struct {
+	Scheme string
+	Epochs []EpochStats
+}
+
+// AvgEpochTime is the paper's headline metric: total training time divided
+// by the number of epochs.
+func (r RunStats) AvgEpochTime() time.Duration {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, e := range r.Epochs {
+		total += e.Duration
+	}
+	return total / time.Duration(len(r.Epochs))
+}
+
+// AvgIOStall averages per-epoch GPU stall time.
+func (r RunStats) AvgIOStall() time.Duration {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, e := range r.Epochs {
+		total += e.IOStall
+	}
+	return total / time.Duration(len(r.Epochs))
+}
+
+// TotalCache sums cache stats over all epochs.
+func (r RunStats) TotalCache() CacheStats {
+	var c CacheStats
+	for _, e := range r.Epochs {
+		c.Add(e.Cache)
+	}
+	return c
+}
+
+// FinalTop1 returns the last epoch's Top-1 accuracy (0 if no epochs).
+func (r RunStats) FinalTop1() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].Top1
+}
+
+// FinalTop5 returns the last epoch's Top-5 accuracy (0 if no epochs).
+func (r RunStats) FinalTop5() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].Top5
+}
+
+// Speedup reports how much faster r is than baseline on average epoch time.
+func Speedup(baseline, r RunStats) float64 {
+	b, v := baseline.AvgEpochTime(), r.AvgEpochTime()
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return float64(b) / float64(v)
+}
+
+// Series is a float series with summary helpers, used by the experiment
+// harness when printing figure data.
+type Series []float64
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Min returns the smallest element (0 for an empty series).
+func (s Series) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (0 for an empty series).
+func (s Series) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank on a
+// sorted copy.
+func (s Series) Percentile(p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append(Series(nil), s...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCacheStatsHitRatio(t *testing.T) {
+	var s CacheStats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio != 0")
+	}
+	s = CacheStats{Hits: 20, Misses: 70, Substitutions: 10}
+	if got := s.HitRatio(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("HitRatio = %g, want 0.3 (substitutions count as hits)", got)
+	}
+	if s.Requests() != 100 {
+		t.Fatalf("Requests = %d, want 100", s.Requests())
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := CacheStats{Hits: 1, Misses: 2, Substitutions: 3, Inserts: 4, Evictions: 5, Rejections: 6}
+	b := a
+	a.Add(b)
+	if a.Hits != 2 || a.Misses != 4 || a.Substitutions != 6 || a.Inserts != 8 || a.Evictions != 10 || a.Rejections != 12 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestCacheStatsString(t *testing.T) {
+	s := CacheStats{Hits: 1, Misses: 1}
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRunStatsAverages(t *testing.T) {
+	r := RunStats{Scheme: "x", Epochs: []EpochStats{
+		{Duration: 10 * time.Second, IOStall: 4 * time.Second, Top1: 0.8, Top5: 0.95},
+		{Duration: 20 * time.Second, IOStall: 6 * time.Second, Top1: 0.9, Top5: 0.99},
+	}}
+	if got := r.AvgEpochTime(); got != 15*time.Second {
+		t.Fatalf("AvgEpochTime = %v, want 15s", got)
+	}
+	if got := r.AvgIOStall(); got != 5*time.Second {
+		t.Fatalf("AvgIOStall = %v, want 5s", got)
+	}
+	if r.FinalTop1() != 0.9 || r.FinalTop5() != 0.99 {
+		t.Fatalf("final accuracy = %g/%g", r.FinalTop1(), r.FinalTop5())
+	}
+}
+
+func TestRunStatsEmpty(t *testing.T) {
+	var r RunStats
+	if r.AvgEpochTime() != 0 || r.AvgIOStall() != 0 || r.FinalTop1() != 0 || r.FinalTop5() != 0 {
+		t.Fatal("empty RunStats not all-zero")
+	}
+}
+
+func TestRunStatsTotalCache(t *testing.T) {
+	r := RunStats{Epochs: []EpochStats{
+		{Cache: CacheStats{Hits: 1}},
+		{Cache: CacheStats{Hits: 2, Misses: 3}},
+	}}
+	c := r.TotalCache()
+	if c.Hits != 3 || c.Misses != 3 {
+		t.Fatalf("TotalCache = %+v", c)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := RunStats{Epochs: []EpochStats{{Duration: 20 * time.Second}}}
+	fast := RunStats{Epochs: []EpochStats{{Duration: 10 * time.Second}}}
+	if got := Speedup(base, fast); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Speedup = %g, want 2", got)
+	}
+	if !math.IsInf(Speedup(base, RunStats{}), 1) {
+		t.Fatal("zero-time run should give +Inf speedup")
+	}
+}
+
+func TestSeriesSummaries(t *testing.T) {
+	s := Series{3, 1, 2}
+	if s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("mean/min/max = %g/%g/%g", s.Mean(), s.Min(), s.Max())
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 || empty.Percentile(50) != 0 {
+		t.Fatal("empty series summaries not zero")
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("P50 = %g, want 5", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("P100 = %g, want 10", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %g, want 1", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Fatalf("P(-5) = %g, want clamp to 1", got)
+	}
+	if got := s.Percentile(200); got != 10 {
+		t.Fatalf("P200 = %g, want clamp to 10", got)
+	}
+	// Percentile must not reorder the caller's slice.
+	if s[0] != 1 || s[9] != 10 {
+		t.Fatal("Percentile mutated input")
+	}
+}

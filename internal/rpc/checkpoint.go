@@ -1,0 +1,68 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// SaveCheckpoint writes the cache's warm state (see icache.Checkpoint).
+func (s *Server) SaveCheckpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Checkpoint(w)
+}
+
+// LoadCheckpoint restores a warm cache into a fresh server. With rehydrate
+// set, the payload store is eagerly refilled from the backend so the first
+// client requests hit immediately; otherwise payloads refill lazily on
+// first access.
+func (s *Server) LoadCheckpoint(r io.Reader, rehydrate bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cache.RestoreCheckpoint(r); err != nil {
+		return err
+	}
+	if !rehydrate {
+		return nil
+	}
+	for _, id := range s.cache.Residents(nil) {
+		payload, err := s.source.Fetch(id)
+		if err != nil {
+			return fmt.Errorf("rpc: rehydrate sample %d: %w", id, err)
+		}
+		s.payloads[id] = payload
+	}
+	return nil
+}
+
+// SaveCheckpointFile and LoadCheckpointFile are the path-based conveniences
+// the icache-server command uses around shutdown/startup.
+func (s *Server) SaveCheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.SaveCheckpoint(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile restores from path; a missing file is not an error
+// (first boot).
+func (s *Server) LoadCheckpointFile(path string, rehydrate bool) (loaded bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := s.LoadCheckpoint(f, rehydrate); err != nil {
+		return false, err
+	}
+	return true, nil
+}

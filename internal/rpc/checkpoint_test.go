@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+func TestCheckpointWarmRestart(t *testing.T) {
+	spec := testSpec()
+	path := filepath.Join(t.TempDir(), "cache.ckpt")
+
+	// First server lifetime: warm the cache over the wire, checkpoint.
+	srv1, addr1, _ := startServer(t)
+	c1 := dial(t, addr1)
+	var items []sampling.Item
+	var ids []dataset.SampleID
+	for id := dataset.SampleID(0); id < 100; id++ {
+		items = append(items, sampling.Item{ID: id, IV: 3})
+		ids = append(ids, id)
+	}
+	if err := c1.UpdateImportance(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.GetBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.SaveCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second lifetime: fresh server, restore with rehydration; the first
+	// client batch must be served without backend reads.
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheSrv, err := icache.NewServer(back, icache.DefaultConfig(spec.TotalBytes()/5), sampling.DefaultIIS(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, err := storage.NewDataSource(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(cacheSrv, source)
+	srv2.Logf = nil
+	loaded, err := srv2.LoadCheckpointFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded {
+		t.Fatal("checkpoint file not loaded")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln)
+	defer srv2.Close()
+
+	c2, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rehydrated := source.Reads()
+	samples, err := c2.GetBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := source.Reads() - rehydrated; delta != 0 {
+		t.Fatalf("warm-restarted server hit the backend %d times", delta)
+	}
+	for i, s := range samples {
+		if s.ID != ids[i] {
+			t.Fatalf("substitution on a resident H-sample %d", ids[i])
+		}
+		if err := spec.VerifyPayload(s.ID, s.Payload); err != nil {
+			t.Fatalf("rehydrated payload corrupt: %v", err)
+		}
+	}
+}
+
+func TestLoadCheckpointFileMissingIsFirstBoot(t *testing.T) {
+	srv, _, _ := startServer(t)
+	loaded, err := srv.LoadCheckpointFile(filepath.Join(t.TempDir(), "absent.ckpt"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded {
+		t.Fatal("missing file reported as loaded")
+	}
+}

@@ -1,0 +1,147 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/sampling"
+)
+
+// Client is the framework-side iCache client module (the role the paper's
+// iCacheImageFolder plays inside PyTorch): it forwards data-loader requests
+// to the cache server and pushes the job's H-list after importance updates.
+// A Client owns one TCP connection and serializes requests on it; data
+// loaders with several workers open one Client per worker.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// Dial connects to an iCache server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, timeout: timeout, conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return c.conn.Close()
+}
+
+// roundTrip sends one request frame and decodes the status byte of the
+// response, returning the remaining body. A transport failure triggers one
+// transparent redial-and-retry — cache servers restart (warm, via
+// checkpoints) and a long-running training job should ride through it —
+// before the error is surfaced.
+func (c *Client) roundTrip(req []byte) (*reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.exchange(req)
+	if err != nil && !c.closed {
+		if redialErr := c.redial(); redialErr == nil {
+			resp, err = c.exchange(req)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := newReader(resp)
+	switch status := d.u8(); status {
+	case statusOK:
+		return d, nil
+	case statusErr:
+		return nil, fmt.Errorf("rpc: server error: %s", d.str())
+	default:
+		return nil, fmt.Errorf("rpc: unknown status %d", status)
+	}
+}
+
+// exchange performs one write/read on the current connection (mu held).
+func (c *Client) exchange(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	return resp, nil
+}
+
+// redial replaces the connection (mu held).
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn.Close()
+	c.conn = conn
+	return nil
+}
+
+// GetBatch fetches a mini-batch through the cache (the paper's rpc_loader
+// interface). The returned samples may carry different IDs than requested
+// when the server substituted missed L-samples.
+func (c *Client) GetBatch(ids []dataset.SampleID) ([]Sample, error) {
+	d, err := c.roundTrip(encodeGetBatchRequest(ids))
+	if err != nil {
+		return nil, err
+	}
+	samples, err := decodeGetBatchResponse(d)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) != len(ids) {
+		return nil, fmt.Errorf("rpc: got %d samples for %d requests", len(samples), len(ids))
+	}
+	return samples, nil
+}
+
+// UpdateImportance pushes the job's H-list to the server (the paper's
+// update_ipersample interface).
+func (c *Client) UpdateImportance(items []sampling.Item) error {
+	_, err := c.roundTrip(encodeUpdateImportanceRequest(items))
+	return err
+}
+
+// BeginEpoch tells the server an epoch boundary passed so it can
+// repartition, reset substitution state, and roll the loading thread.
+func (c *Client) BeginEpoch(epoch int) error {
+	var e buffer
+	e.u8(opBeginEpoch)
+	e.u32(uint32(epoch))
+	_, err := c.roundTrip(e.payload())
+	return err
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var e buffer
+	e.u8(opStats)
+	d, err := c.roundTrip(e.payload())
+	if err != nil {
+		return Stats{}, err
+	}
+	return decodeStatsResponse(d)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	var e buffer
+	e.u8(opPing)
+	_, err := c.roundTrip(e.payload())
+	return err
+}

@@ -1,0 +1,53 @@
+package rpc
+
+import (
+	"testing"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+// FuzzServerDispatch throws arbitrary request payloads at the server's
+// dispatcher: it must always answer (or error-answer) and never panic —
+// a malformed client must not be able to take the cache service down.
+func FuzzServerDispatch(f *testing.F) {
+	spec := testSpec()
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		f.Fatal(err)
+	}
+	cacheSrv, err := icache.NewServer(back, icache.DefaultConfig(spec.TotalBytes()/5), sampling.DefaultIIS(), 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	source, err := storage.NewDataSource(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := NewServer(cacheSrv, source)
+	srv.Logf = nil
+
+	// Seed with every opcode, well-formed and truncated.
+	f.Add([]byte{})
+	f.Add([]byte{opPing})
+	f.Add([]byte{opGetBatch})
+	f.Add([]byte{opGetBatch, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{opUpdateImportance, 0, 0, 0, 1})
+	f.Add([]byte{opBeginEpoch, 0, 0, 0, 0})
+	f.Add([]byte{opStats})
+	f.Add([]byte{opPeerGet, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+	f.Add(encodeGetBatchRequest([]dataset.SampleID{0, 1, 2}))
+
+	f.Fuzz(func(t *testing.T, req []byte) {
+		resp := srv.dispatch(req)
+		if len(resp) == 0 {
+			t.Fatal("empty response")
+		}
+		if resp[0] != statusOK && resp[0] != statusErr {
+			t.Fatalf("response status %d", resp[0])
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package rpc
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// MetricsSnapshot is the JSON document served by the metrics endpoint: the
+// cache counters plus the operational gauges an operator dashboards.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Substitutions int64   `json:"substitutions"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Inserts       int64   `json:"inserts"`
+	Evictions     int64   `json:"evictions"`
+
+	HCacheLen  int `json:"hcache_len"`
+	LCacheLen  int `json:"lcache_len"`
+	Tier2Len   int `json:"tier2_len"`
+	PayloadLen int `json:"payload_len"`
+
+	PackagesLoaded    int64 `json:"packages_loaded"`
+	LoaderUsefulBytes int64 `json:"loader_useful_bytes"`
+	LoaderWastedBytes int64 `json:"loader_wasted_bytes"`
+	Tier2Hits         int64 `json:"tier2_hits"`
+
+	PeerServes int64 `json:"peer_serves"`
+	PeerHits   int64 `json:"peer_hits"`
+}
+
+// Metrics gathers a consistent snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cache.Stats()
+	served, hits := int64(0), int64(0)
+	if s.dist != nil {
+		served, hits = s.dist.peerServes, s.dist.peerHits
+	}
+	return MetricsSnapshot{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Hits:              st.Hits,
+		Misses:            st.Misses,
+		Substitutions:     st.Substitutions,
+		HitRatio:          st.HitRatio(),
+		Inserts:           st.Inserts,
+		Evictions:         st.Evictions,
+		HCacheLen:         s.cache.HCacheLen(),
+		LCacheLen:         s.cache.LCacheLen(),
+		Tier2Len:          s.cache.Tier2Len(),
+		PayloadLen:        len(s.payloads),
+		PackagesLoaded:    s.cache.PackagesLoaded(),
+		LoaderUsefulBytes: s.cache.LoaderUsefulBytes(),
+		LoaderWastedBytes: s.cache.LoaderWastedBytes(),
+		Tier2Hits:         s.cache.Tier2Hits(),
+		PeerServes:        served,
+		PeerHits:          hits,
+	}
+}
+
+// MetricsHandler serves the snapshot as JSON on GET /metrics (any path).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Metrics()); err != nil && s.Logf != nil {
+			s.Logf("rpc: metrics encode: %v", err)
+		}
+	})
+}

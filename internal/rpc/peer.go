@@ -1,0 +1,176 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+)
+
+// This file adds the distributed deployment of §III-E to the network
+// server: nodes share a dkv directory service (which sample lives where)
+// and answer PeerGet requests for samples they cache, so a miss on one node
+// can be served from another node's DRAM instead of the backend.
+
+// opPeerGet fetches a resident sample's payload from a peer cache node.
+const opPeerGet = 6
+
+// distState is the optional distributed wiring of a Server.
+type distState struct {
+	nodeID    dkv.NodeID
+	dir       *dkv.DirClient
+	peerAddrs map[dkv.NodeID]string
+
+	mu    sync.Mutex
+	peers map[dkv.NodeID]*Client
+
+	peerServes int64 // requests this node answered for peers
+	peerHits   int64 // local misses served from a peer's cache
+}
+
+// EnableDistributed joins the server to a directory service and a peer set.
+// nodeID must be unique across the deployment; peerAddrs maps the *other*
+// nodes' IDs to their cache-service addresses. Call before Serve.
+func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir *dkv.DirClient, peerAddrs map[dkv.NodeID]string) {
+	s.dist = &distState{
+		nodeID:    nodeID,
+		dir:       dir,
+		peerAddrs: peerAddrs,
+		peers:     make(map[dkv.NodeID]*Client),
+	}
+}
+
+// PeerStats reports (requests served for peers, local misses served by
+// peers); zeros when distribution is disabled.
+func (s *Server) PeerStats() (served, hits int64) {
+	if s.dist == nil {
+		return 0, 0
+	}
+	return s.dist.peerServes, s.dist.peerHits
+}
+
+// peer returns a (cached) client connection to the given node.
+func (d *distState) peer(node dkv.NodeID) (*Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.peers[node]; ok {
+		return c, nil
+	}
+	addr, ok := d.peerAddrs[node]
+	if !ok {
+		return nil, fmt.Errorf("rpc: no address for peer node %d", node)
+	}
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	d.peers[node] = c
+	return c, nil
+}
+
+// closePeers tears down cached peer connections (on server Close).
+func (d *distState) closePeers() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.peers {
+		c.Close()
+	}
+	d.peers = make(map[dkv.NodeID]*Client)
+}
+
+// PeerGet asks a cache node for a resident sample's payload. The second
+// return reports whether the node had it; a miss is not an error (the
+// caller falls back to the backend).
+func (c *Client) PeerGet(id dataset.SampleID) ([]byte, bool, error) {
+	var e buffer
+	e.u8(opPeerGet)
+	e.i64(int64(id))
+	d, err := c.roundTrip(e.payload())
+	if err != nil {
+		return nil, false, err
+	}
+	if d.u8() == 0 {
+		return nil, false, d.err()
+	}
+	payload := d.bytes()
+	return payload, true, d.err()
+}
+
+// handlePeerGet serves opPeerGet: payload-store lookup only — peer reads
+// must not mutate this node's cache policy state.
+func (s *Server) handlePeerGet(d *reader) []byte {
+	id := dataset.SampleID(d.i64())
+	if err := d.err(); err != nil {
+		return encodeErrorResponse(err.Error())
+	}
+	s.mu.Lock()
+	payload, ok := s.payloads[id]
+	if ok && s.dist != nil {
+		s.dist.peerServes++
+	}
+	s.mu.Unlock()
+	var e buffer
+	e.u8(statusOK)
+	if !ok {
+		e.u8(0)
+		return e.payload()
+	}
+	e.u8(1)
+	e.bytes(payload)
+	return e.payload()
+}
+
+// resolveRemote tries to serve a payload from the owning peer's cache.
+// Called with s.mu held; it drops the lock across network calls.
+func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
+	dist := s.dist
+	if dist == nil {
+		return nil, false
+	}
+	s.mu.Unlock()
+	defer s.mu.Lock()
+	owner, found, err := dist.dir.Lookup(id)
+	if err != nil || !found || owner == dist.nodeID {
+		return nil, false
+	}
+	peer, err := dist.peer(owner)
+	if err != nil {
+		return nil, false
+	}
+	payload, ok, err := peer.PeerGet(id)
+	if err != nil || !ok {
+		return nil, false
+	}
+	dist.peerHits++
+	return payload, true
+}
+
+// claimOwnership registers this node in the directory for a sample it just
+// admitted. Reports whether the claim succeeded (false means another node
+// already owns it, so this node must not keep a duplicate copy). Called
+// with s.mu held; drops the lock across the network call.
+func (s *Server) claimOwnership(id dataset.SampleID) bool {
+	dist := s.dist
+	if dist == nil {
+		return true
+	}
+	s.mu.Unlock()
+	defer s.mu.Lock()
+	ok, err := dist.dir.Claim(id, dist.nodeID)
+	return err == nil && ok
+}
+
+// releaseOwnership drops the directory entry for an evicted sample.
+func (s *Server) releaseOwnership(id dataset.SampleID) {
+	dist := s.dist
+	if dist == nil {
+		return
+	}
+	// Best effort: eviction hooks run under s.mu; the release is async so
+	// the cache path never blocks on the directory.
+	go func() {
+		_, _ = dist.dir.Release(id, dist.nodeID)
+	}()
+}

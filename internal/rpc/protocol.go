@@ -1,0 +1,183 @@
+// Package rpc implements the client/server wire protocol between the
+// deep-learning framework and the iCache server. The paper uses gRPC; this
+// reproduction uses an equivalent length-prefixed binary protocol over TCP
+// built only on the standard library, with the same two interfaces the
+// paper names — fetching batches (rpc_loader) and pushing importance values
+// (update_ipersample) — plus epoch-boundary and stats calls.
+//
+// Frame layout: a 4-byte big-endian payload length, then the payload. The
+// payload's first byte is the opcode; the rest is the opcode-specific body.
+// All integers are big-endian; floats are IEEE-754 bits.
+package rpc
+
+import (
+	"fmt"
+	"io"
+
+	"icache/internal/dataset"
+	"icache/internal/sampling"
+	"icache/internal/wire"
+)
+
+// Opcodes.
+const (
+	opGetBatch         = 1 // the paper's rpc_loader
+	opUpdateImportance = 2 // the paper's update_ipersample
+	opStats            = 3
+	opBeginEpoch       = 4
+	opPing             = 5
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// writeFrame and readFrame delegate to the shared wire framing.
+func writeFrame(w io.Writer, payload []byte) error { return wire.WriteFrame(w, payload) }
+
+func readFrame(r io.Reader) ([]byte, error) { return wire.ReadFrame(r) }
+
+// buffer and reader alias the shared wire encoder/decoder with the local
+// lower-case method names this file was written against.
+type buffer struct{ wire.Buffer }
+
+func (e *buffer) u8(v byte)       { e.U8(v) }
+func (e *buffer) u32(v uint32)    { e.U32(v) }
+func (e *buffer) i64(v int64)     { e.I64(v) }
+func (e *buffer) f64(v float64)   { e.F64(v) }
+func (e *buffer) bytes(v []byte)  { e.Bytes(v) }
+func (e *buffer) str(s string)    { e.Str(s) }
+func (e *buffer) payload() []byte { return e.Buffer.B }
+
+type reader struct{ *wire.Reader }
+
+func newReader(b []byte) *reader { return &reader{wire.NewReader(b)} }
+
+func (d *reader) u8() byte      { return d.U8() }
+func (d *reader) u32() uint32   { return d.U32() }
+func (d *reader) i64() int64    { return d.I64() }
+func (d *reader) f64() float64  { return d.F64() }
+func (d *reader) bytes() []byte { return d.BytesField() }
+func (d *reader) str() string   { return d.Str() }
+func (d *reader) err() error    { return d.Err }
+
+// encodeGetBatchRequest/decode pair.
+func encodeGetBatchRequest(ids []dataset.SampleID) []byte {
+	var e buffer
+	e.u8(opGetBatch)
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.i64(int64(id))
+	}
+	return e.payload()
+}
+
+func decodeGetBatchRequest(d *reader) ([]dataset.SampleID, error) {
+	n := int(d.u32())
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("rpc: unreasonable batch size %d", n)
+	}
+	ids := make([]dataset.SampleID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, dataset.SampleID(d.i64()))
+	}
+	return ids, d.err()
+}
+
+// Sample is one delivered sample on the wire: the ID actually served (which
+// may differ from the requested ID under substitution) and its payload.
+type Sample struct {
+	ID      dataset.SampleID
+	Payload []byte
+}
+
+func encodeGetBatchResponse(samples []Sample) []byte {
+	var e buffer
+	e.u8(statusOK)
+	e.u32(uint32(len(samples)))
+	for _, s := range samples {
+		e.i64(int64(s.ID))
+		e.bytes(s.Payload)
+	}
+	return e.payload()
+}
+
+func decodeGetBatchResponse(d *reader) ([]Sample, error) {
+	n := int(d.u32())
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		id := dataset.SampleID(d.i64())
+		payload := d.bytes()
+		if d.err() != nil {
+			return nil, d.err()
+		}
+		samples = append(samples, Sample{ID: id, Payload: payload})
+	}
+	return samples, d.err()
+}
+
+func encodeUpdateImportanceRequest(items []sampling.Item) []byte {
+	var e buffer
+	e.u8(opUpdateImportance)
+	e.u32(uint32(len(items)))
+	for _, it := range items {
+		e.i64(int64(it.ID))
+		e.f64(it.IV)
+	}
+	return e.payload()
+}
+
+func decodeUpdateImportanceRequest(d *reader) ([]sampling.Item, error) {
+	n := int(d.u32())
+	if n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("rpc: unreasonable H-list size %d", n)
+	}
+	items := make([]sampling.Item, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, sampling.Item{ID: dataset.SampleID(d.i64()), IV: d.f64()})
+	}
+	return items, d.err()
+}
+
+// Stats is the server-side counter snapshot exposed over the wire.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Substitutions int64
+	HCacheLen     int64
+	LCacheLen     int64
+	Packages      int64
+}
+
+func encodeStatsResponse(s Stats) []byte {
+	var e buffer
+	e.u8(statusOK)
+	e.i64(s.Hits)
+	e.i64(s.Misses)
+	e.i64(s.Substitutions)
+	e.i64(s.HCacheLen)
+	e.i64(s.LCacheLen)
+	e.i64(s.Packages)
+	return e.payload()
+}
+
+func decodeStatsResponse(d *reader) (Stats, error) {
+	s := Stats{
+		Hits:          d.i64(),
+		Misses:        d.i64(),
+		Substitutions: d.i64(),
+		HCacheLen:     d.i64(),
+		LCacheLen:     d.i64(),
+		Packages:      d.i64(),
+	}
+	return s, d.err()
+}
+
+func encodeErrorResponse(msg string) []byte {
+	var e buffer
+	e.u8(statusErr)
+	e.str(msg)
+	return e.payload()
+}

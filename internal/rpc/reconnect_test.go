@@ -1,0 +1,85 @@
+package rpc
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+// TestClientRidesThroughServerRestart kills the server between requests and
+// restarts it on the same address; the client's next call must succeed via
+// its transparent redial.
+func TestClientRidesThroughServerRestart(t *testing.T) {
+	spec := testSpec()
+	mkServer := func() (*Server, net.Listener) {
+		back, err := storage.NewBackend(spec, storage.OrangeFS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cacheSrv, err := icache.NewServer(back, icache.DefaultConfig(spec.TotalBytes()/5), sampling.DefaultIIS(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source, err := storage.NewDataSource(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(cacheSrv, source)
+		srv.Logf = nil
+		return srv, nil
+	}
+
+	srv1, _ := mkServer()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	go srv1.Serve(ln1)
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and restart on the same port.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, _ := mkServer()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	samples, err := c.GetBatch([]dataset.SampleID{1, 2, 3})
+	if err != nil {
+		t.Fatalf("request after restart failed despite reconnect: %v", err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("served %d of 3", len(samples))
+	}
+}
+
+func TestClosedClientDoesNotRedial(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("closed client served a request")
+	}
+}

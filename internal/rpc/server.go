@@ -1,0 +1,270 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/simclock"
+)
+
+// ByteSource supplies real sample payloads: storage.DataSource (generated
+// on demand) and storage.FileSource (a packed dataset file) both satisfy it.
+type ByteSource interface {
+	Spec() dataset.Spec
+	Fetch(id dataset.SampleID) ([]byte, error)
+}
+
+// Server is the network-facing iCache server: it owns an icache.Server for
+// cache policy decisions, a ByteSource for real sample bytes, and a payload
+// store that mirrors the cache's residency. Policy time is driven by the
+// wall clock, so the background loading thread's pacing carries over to
+// live deployments.
+type Server struct {
+	cache  *icache.Server
+	source ByteSource
+	start  time.Time
+
+	mu       sync.Mutex
+	payloads map[dataset.SampleID][]byte
+
+	ln      net.Listener
+	conns   sync.WaitGroup
+	connMu  sync.Mutex
+	connSet map[net.Conn]struct{}
+	closed  chan struct{}
+
+	// dist holds the §III-E distributed wiring (nil on a lone server).
+	dist *distState
+
+	// Logf sinks server logs; defaults to log.Printf. Tests may silence it.
+	Logf func(format string, args ...interface{})
+}
+
+// NewServer wires a cache policy engine to a byte source.
+func NewServer(cacheSrv *icache.Server, source ByteSource) *Server {
+	s := &Server{
+		cache:    cacheSrv,
+		source:   source,
+		start:    time.Now(),
+		payloads: make(map[dataset.SampleID][]byte),
+		connSet:  make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+		Logf:     log.Printf,
+	}
+	cacheSrv.SetEvictObserver(func(id dataset.SampleID) {
+		// Called with s.mu held (all cache mutations happen under it).
+		delete(s.payloads, id)
+		s.releaseOwnership(id)
+	})
+	return s
+}
+
+// now maps wall-clock elapsed time onto the cache's virtual timeline.
+func (s *Server) now() simclock.Time { return simclock.Time(time.Since(s.start)) }
+
+// Serve accepts connections on ln until Close is called. It always returns
+// a non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return net.ErrClosed
+			default:
+				return err
+			}
+		}
+		s.connMu.Lock()
+		s.connSet[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.conns.Add(1)
+		go func() {
+			defer func() {
+				s.connMu.Lock()
+				delete(s.connSet, conn)
+				s.connMu.Unlock()
+				s.conns.Done()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound listener address (once Serve has been called).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.connSet {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.conns.Wait()
+	if s.dist != nil {
+		s.dist.closePeers()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				// Normal client disconnects arrive as EOF; anything else is
+				// worth a log line but never a crash.
+				s.logIfUnexpected(err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logIfUnexpected(err)
+			return
+		}
+	}
+}
+
+func (s *Server) logIfUnexpected(err error) {
+	if errors.Is(err, net.ErrClosed) {
+		return
+	}
+	if s.Logf != nil {
+		s.Logf("rpc: connection error: %v", err)
+	}
+}
+
+// dispatch decodes one request and produces the response payload. Protocol
+// errors are answered, never fatal.
+func (s *Server) dispatch(req []byte) []byte {
+	d := newReader(req)
+	op := d.u8()
+	switch op {
+	case opGetBatch:
+		ids, err := decodeGetBatchRequest(d)
+		if err != nil {
+			return encodeErrorResponse(err.Error())
+		}
+		samples, err := s.getBatch(ids)
+		if err != nil {
+			return encodeErrorResponse(err.Error())
+		}
+		return encodeGetBatchResponse(samples)
+	case opUpdateImportance:
+		items, err := decodeUpdateImportanceRequest(d)
+		if err != nil {
+			return encodeErrorResponse(err.Error())
+		}
+		s.mu.Lock()
+		s.cache.InstallHList(sampling.NewHList(items))
+		s.mu.Unlock()
+		return []byte{statusOK}
+	case opBeginEpoch:
+		_ = d.u32() // epoch number: accepted for symmetry/logging
+		s.mu.Lock()
+		s.cache.StartEpoch(s.now())
+		s.mu.Unlock()
+		return []byte{statusOK}
+	case opStats:
+		s.mu.Lock()
+		st := s.cache.Stats()
+		out := Stats{
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Substitutions: st.Substitutions,
+			HCacheLen:     int64(s.cache.HCacheLen()),
+			LCacheLen:     int64(s.cache.LCacheLen()),
+			Packages:      s.cache.PackagesLoaded(),
+		}
+		s.mu.Unlock()
+		return encodeStatsResponse(out)
+	case opPing:
+		return []byte{statusOK}
+	case opPeerGet:
+		return s.handlePeerGet(d)
+	default:
+		return encodeErrorResponse(fmt.Sprintf("rpc: unknown opcode %d", op))
+	}
+}
+
+// getBatch runs the cache policy for each requested sample and returns real
+// payloads: cached bytes for residents, freshly fetched bytes otherwise
+// (stored if the policy admitted the sample).
+func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
+	spec := s.source.Spec()
+	for _, id := range ids {
+		if !spec.Contains(id) {
+			return nil, fmt.Errorf("rpc: sample %d out of range for dataset %q", id, spec.Name)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	_, served := s.cache.FetchBatch(s.now(), ids)
+	out := make([]Sample, 0, len(served))
+	for _, id := range served {
+		payload, ok := s.payloads[id]
+		if !ok {
+			// A peer's cache is cheaper than the backend (§III-E flow:
+			// local cache → directory → remote cache → storage).
+			if remote, served := s.resolveRemote(id); served {
+				payload = remote
+				// Owned elsewhere: this node must not keep a duplicate.
+				if s.cache.Drop(id) {
+					delete(s.payloads, id)
+				}
+			} else {
+				var err error
+				payload, err = s.source.Fetch(id)
+				if err != nil {
+					return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
+				}
+				if s.cache.Resident(id) {
+					if s.claimOwnership(id) {
+						s.payloads[id] = payload
+					} else {
+						// Lost the claim race: another node owns it now.
+						s.cache.Drop(id)
+					}
+				}
+			}
+		}
+		out = append(out, Sample{ID: id, Payload: payload})
+	}
+	return out, nil
+}

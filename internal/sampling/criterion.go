@@ -1,0 +1,69 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Criterion selects how a training observation becomes an importance value.
+// The paper adopts the loss-based criterion for "simplicity and efficiency"
+// and names the others as integration candidates (§VI): any criterion that
+// yields a per-sample scalar slots into the same tracker, H-list, and cache
+// machinery.
+type Criterion int
+
+const (
+	// CriterionLoss is the paper's choice: the sample's (smoothed)
+	// historical training loss.
+	CriterionLoss Criterion = iota
+	// CriterionGradUpper is the gradient-norm upper bound family: an
+	// importance score that grows superlinearly with the loss, emphasizing
+	// the hardest samples more sharply than raw loss does.
+	CriterionGradUpper
+	// CriterionProxyModel scores samples with a separately trained
+	// lightweight model: every sample can be (re-)scored each epoch —
+	// no staleness for skipped samples — at the price of estimation error.
+	CriterionProxyModel
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case CriterionLoss:
+		return "loss"
+	case CriterionGradUpper:
+		return "grad-upper"
+	case CriterionProxyModel:
+		return "proxy-model"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Validate reports whether the criterion is known.
+func (c Criterion) Validate() error {
+	switch c {
+	case CriterionLoss, CriterionGradUpper, CriterionProxyModel:
+		return nil
+	default:
+		return fmt.Errorf("sampling: unknown criterion %d", int(c))
+	}
+}
+
+// Score converts an observed training loss into an importance value under
+// the criterion. CriterionProxyModel does not use per-step losses (its
+// scores come from the proxy sweep), so it falls back to the loss value for
+// samples that do get trained.
+func (c Criterion) Score(loss float64) float64 {
+	switch c {
+	case CriterionGradUpper:
+		// ∝ loss^1.5: a smooth stand-in for per-sample gradient-norm upper
+		// bounds, which grow faster than the loss near the hard tail.
+		if loss < 0 {
+			return 0
+		}
+		return loss * math.Sqrt(loss)
+	default:
+		return loss
+	}
+}

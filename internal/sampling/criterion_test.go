@@ -1,0 +1,52 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCriterionStrings(t *testing.T) {
+	if CriterionLoss.String() != "loss" || CriterionGradUpper.String() != "grad-upper" || CriterionProxyModel.String() != "proxy-model" {
+		t.Fatal("criterion strings wrong")
+	}
+}
+
+func TestCriterionValidate(t *testing.T) {
+	for _, c := range []Criterion{CriterionLoss, CriterionGradUpper, CriterionProxyModel} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+	if err := Criterion(99).Validate(); err == nil {
+		t.Fatal("bogus criterion validated")
+	}
+}
+
+func TestCriterionScoreMonotone(t *testing.T) {
+	for _, c := range []Criterion{CriterionLoss, CriterionGradUpper, CriterionProxyModel} {
+		prev := -1.0
+		for l := 0.0; l <= 3; l += 0.1 {
+			s := c.Score(l)
+			if s < prev {
+				t.Fatalf("%s: score not monotone at loss %g", c, l)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestGradUpperEmphasizesHardTail(t *testing.T) {
+	// The ratio grad-upper/loss must grow with the loss: harder samples get
+	// proportionally more importance than under the raw-loss criterion.
+	low := CriterionGradUpper.Score(0.5) / CriterionLoss.Score(0.5)
+	high := CriterionGradUpper.Score(2.5) / CriterionLoss.Score(2.5)
+	if high <= low {
+		t.Fatalf("tail emphasis missing: ratio %g at 0.5 vs %g at 2.5", low, high)
+	}
+	if got, want := CriterionGradUpper.Score(2.25), 2.25*1.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Score(2.25) = %g, want %g", got, want)
+	}
+	if CriterionGradUpper.Score(-1) != 0 {
+		t.Fatal("negative loss not clamped")
+	}
+}

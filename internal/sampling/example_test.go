@@ -1,0 +1,41 @@
+package sampling_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"icache/internal/dataset"
+	"icache/internal/sampling"
+)
+
+// I/O-oriented importance sampling in one screen: track losses, then let
+// the sampler decide — before the epoch — which subset to fetch and train.
+func ExampleIISSchedule() {
+	tracker, _ := sampling.NewTracker(1000, 2.3, 0.3)
+	// Pretend one epoch of losses: samples 0..99 are hard, the rest easy.
+	for id := 0; id < 1000; id++ {
+		loss := 0.1
+		if id < 100 {
+			loss = 2.0
+		}
+		tracker.Observe(dataset.SampleID(id), loss)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	sched, hlist := sampling.IISSchedule(tracker, sampling.DefaultIIS(), rng)
+
+	hard := 0
+	for _, id := range sched.Fetch {
+		if id < 100 {
+			hard++
+		}
+	}
+	fmt.Printf("H-list size: %d\n", hlist.Len())
+	fmt.Printf("fetches %d of 1000 samples; %d of the 100 hard ones selected\n",
+		len(sched.Fetch), hard)
+	fmt.Printf("hard sample 5 on H-list: %v\n", hlist.Contains(5))
+	// Output:
+	// H-list size: 200
+	// fetches 704 of 1000 samples; 95 of the 100 hard ones selected
+	// hard sample 5 on H-list: true
+}

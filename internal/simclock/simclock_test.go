@@ -1,0 +1,248 @@
+package simclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("Advance returned %v, want 5ms", got)
+	}
+	c.Advance(3 * time.Millisecond)
+	if got := c.Now(); got != 8*time.Millisecond {
+		t.Fatalf("Now() = %v, want 8ms", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceToIsMonotonic(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(10 * time.Second)
+	c.AdvanceTo(4 * time.Second) // past: must be a no-op
+	if got := c.Now(); got != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", got)
+	}
+}
+
+func TestResourceIdleStartsImmediately(t *testing.T) {
+	var r Resource
+	start, end := r.Acquire(7*time.Millisecond, 2*time.Millisecond)
+	if start != 7*time.Millisecond || end != 9*time.Millisecond {
+		t.Fatalf("Acquire = (%v, %v), want (7ms, 9ms)", start, end)
+	}
+}
+
+func TestResourceQueuesFIFO(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 10*time.Millisecond)
+	start, end := r.Acquire(2*time.Millisecond, 5*time.Millisecond)
+	if start != 10*time.Millisecond {
+		t.Fatalf("second request start = %v, want 10ms (queued)", start)
+	}
+	if end != 15*time.Millisecond {
+		t.Fatalf("second request end = %v, want 15ms", end)
+	}
+	if got := r.BusyTotal(); got != 15*time.Millisecond {
+		t.Fatalf("BusyTotal = %v, want 15ms", got)
+	}
+}
+
+func TestResourceGapLeavesIdleTime(t *testing.T) {
+	var r Resource
+	r.Acquire(0, time.Millisecond)
+	start, _ := r.Acquire(10*time.Millisecond, time.Millisecond)
+	if start != 10*time.Millisecond {
+		t.Fatalf("start = %v, want 10ms (resource was idle)", start)
+	}
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Acquire with negative service did not panic")
+		}
+	}()
+	var r Resource
+	r.Acquire(0, -time.Millisecond)
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Acquire(0, time.Second)
+	r.Reset()
+	if r.BusyUntil() != 0 || r.BusyTotal() != 0 {
+		t.Fatalf("after Reset: busyUntil=%v busyTotal=%v, want 0,0", r.BusyUntil(), r.BusyTotal())
+	}
+}
+
+// Completion times of a FIFO resource must be non-decreasing when arrivals
+// are non-decreasing, and every request must take at least its service time.
+func TestResourceInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+		var arrival Time
+		var prevEnd Time
+		for i := 0; i < 200; i++ {
+			arrival += time.Duration(rng.Intn(1000)) * time.Microsecond
+			service := time.Duration(rng.Intn(5000)) * time.Microsecond
+			start, end := r.Acquire(arrival, service)
+			if start < arrival {
+				return false
+			}
+			if end-start != service {
+				return false
+			}
+			if end < prevEnd {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDispatchesLeastLoaded(t *testing.T) {
+	p := NewPool(2)
+	p.Acquire(0, 10*time.Millisecond) // unit 0 busy until 10ms
+	start, _ := p.Acquire(0, time.Millisecond)
+	if start != 0 {
+		t.Fatalf("second request should land on idle unit, start = %v", start)
+	}
+	// Both busy now; third request queues on the unit that frees first.
+	start, _ = p.Acquire(0, time.Millisecond)
+	if start != time.Millisecond {
+		t.Fatalf("third request start = %v, want 1ms", start)
+	}
+}
+
+func TestPoolSizeAndReset(t *testing.T) {
+	p := NewPool(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	p.Acquire(0, time.Second)
+	if p.BusyTotal() != time.Second {
+		t.Fatalf("BusyTotal = %v, want 1s", p.BusyTotal())
+	}
+	p.Reset()
+	if p.BusyTotal() != 0 {
+		t.Fatalf("BusyTotal after reset = %v, want 0", p.BusyTotal())
+	}
+}
+
+func TestNewPoolZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestEventQueueOrdersEvents(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	var order []int
+	q.ScheduleAt(3*time.Millisecond, func(Time) { order = append(order, 3) })
+	q.ScheduleAt(1*time.Millisecond, func(Time) { order = append(order, 1) })
+	q.ScheduleAt(2*time.Millisecond, func(Time) { order = append(order, 2) })
+	q.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("event order = %v, want [1 2 3]", order)
+	}
+	if c.Now() != 3*time.Millisecond {
+		t.Fatalf("clock after RunAll = %v, want 3ms", c.Now())
+	}
+}
+
+func TestEventQueueSameInstantFIFO(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.ScheduleAt(time.Millisecond, func(Time) { order = append(order, i) })
+	}
+	q.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEventQueueRunUntilHorizon(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	ran := 0
+	q.ScheduleAt(time.Millisecond, func(Time) { ran++ })
+	q.ScheduleAt(time.Hour, func(Time) { ran++ })
+	q.RunUntil(time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1 (second is beyond horizon)", ran)
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("clock = %v, want horizon 1s", c.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueCascadingEvents(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	depth := 0
+	var recur func(now Time)
+	recur = func(now Time) {
+		depth++
+		if depth < 4 {
+			q.ScheduleAfter(time.Millisecond, recur)
+		}
+	}
+	q.ScheduleAt(0, recur)
+	q.RunUntil(10 * time.Millisecond)
+	if depth != 4 {
+		t.Fatalf("cascade depth = %d, want 4", depth)
+	}
+}
+
+func TestEventQueuePastSchedulingClamps(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	q := NewEventQueue(c)
+	fired := false
+	q.ScheduleAt(0, func(now Time) {
+		fired = true
+		if now != time.Second {
+			t.Errorf("past event ran at %v, want clamped to 1s", now)
+		}
+	})
+	q.RunAll()
+	if !fired {
+		t.Fatal("past-scheduled event never ran")
+	}
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"icache/internal/dataset"
+)
+
+// FileSource serves sample payloads from a packed dataset file on local
+// disk — the deployment where the dataset has been materialized (e.g. by
+// cmd/icache-gen) instead of generated on the fly. The file layout is a
+// fixed-size index followed by concatenated payloads, so any sample is one
+// seek + one read, like the per-file layout DNN datasets use.
+//
+// File format (all big-endian):
+//
+//	magic  [8]byte  "ICACHDS1"
+//	count  uint64
+//	name   uint32-prefixed string
+//	index  count × (offset uint64, length uint32)
+//	data   concatenated payloads
+type FileSource struct {
+	spec dataset.Spec
+
+	mu    sync.Mutex
+	f     *os.File
+	index []indexEntry
+	reads int64
+}
+
+type indexEntry struct {
+	off uint64
+	len uint32
+}
+
+var fileMagic = [8]byte{'I', 'C', 'A', 'C', 'H', 'D', 'S', '1'}
+
+// WriteDatasetFile materializes a spec's payloads into a packed file.
+func WriteDatasetFile(path string, spec dataset.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if _, err := f.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(spec.NumSamples))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return err
+	}
+	var nameLen [4]byte
+	binary.BigEndian.PutUint32(nameLen[:], uint32(len(spec.Name)))
+	if _, err := f.Write(nameLen[:]); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(spec.Name)); err != nil {
+		return err
+	}
+
+	// Index first (fixed size), then payloads.
+	indexStart := int64(8 + 8 + 4 + len(spec.Name))
+	dataStart := indexStart + int64(spec.NumSamples)*12
+	index := make([]byte, spec.NumSamples*12)
+	off := uint64(dataStart)
+	for i := 0; i < spec.NumSamples; i++ {
+		n := uint32(spec.SampleBytes(dataset.SampleID(i)))
+		binary.BigEndian.PutUint64(index[i*12:], off)
+		binary.BigEndian.PutUint32(index[i*12+8:], n)
+		off += uint64(n)
+	}
+	if _, err := f.Write(index); err != nil {
+		return err
+	}
+	for i := 0; i < spec.NumSamples; i++ {
+		if _, err := f.Write(spec.Payload(dataset.SampleID(i))); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// OpenFileSource opens a packed dataset file and validates it against spec.
+func OpenFileSource(path string, spec dataset.Spec) (*FileSource, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileSource{spec: spec, f: f}
+	if err := fs.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FileSource) readHeader() error {
+	var magic [8]byte
+	if _, err := fs.f.ReadAt(magic[:], 0); err != nil {
+		return fmt.Errorf("storage: dataset file header: %w", err)
+	}
+	if magic != fileMagic {
+		return fmt.Errorf("storage: not an iCache dataset file")
+	}
+	var hdr [12]byte
+	if _, err := fs.f.ReadAt(hdr[:], 8); err != nil {
+		return err
+	}
+	count := binary.BigEndian.Uint64(hdr[:8])
+	if count != uint64(fs.spec.NumSamples) {
+		return fmt.Errorf("storage: dataset file has %d samples, spec %q has %d", count, fs.spec.Name, fs.spec.NumSamples)
+	}
+	nameLen := binary.BigEndian.Uint32(hdr[8:])
+	if nameLen > 4096 {
+		return fmt.Errorf("storage: unreasonable dataset name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := fs.f.ReadAt(name, 20); err != nil {
+		return err
+	}
+	if string(name) != fs.spec.Name {
+		return fmt.Errorf("storage: dataset file is %q, spec is %q", name, fs.spec.Name)
+	}
+	indexStart := int64(20 + nameLen)
+	raw := make([]byte, count*12)
+	if _, err := fs.f.ReadAt(raw, indexStart); err != nil {
+		return fmt.Errorf("storage: dataset index: %w", err)
+	}
+	fs.index = make([]indexEntry, count)
+	for i := range fs.index {
+		fs.index[i] = indexEntry{
+			off: binary.BigEndian.Uint64(raw[i*12:]),
+			len: binary.BigEndian.Uint32(raw[i*12+8:]),
+		}
+	}
+	return nil
+}
+
+// Spec returns the dataset this source serves.
+func (fs *FileSource) Spec() dataset.Spec { return fs.spec }
+
+// Fetch reads one sample's payload from disk.
+func (fs *FileSource) Fetch(id dataset.SampleID) ([]byte, error) {
+	if !fs.spec.Contains(id) {
+		return nil, fmt.Errorf("storage: sample %d out of range for dataset %q", id, fs.spec.Name)
+	}
+	e := fs.index[id]
+	buf := make([]byte, e.len)
+	if _, err := fs.f.ReadAt(buf, int64(e.off)); err != nil {
+		return nil, fmt.Errorf("storage: read sample %d: %w", id, err)
+	}
+	fs.mu.Lock()
+	fs.reads++
+	fs.mu.Unlock()
+	return buf, nil
+}
+
+// Reads reports how many samples were fetched.
+func (fs *FileSource) Reads() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.reads
+}
+
+// Close releases the file handle.
+func (fs *FileSource) Close() error { return fs.f.Close() }

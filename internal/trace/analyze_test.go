@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func analysisFixture() []Event {
+	return []Event{
+		{At: 0, Kind: KindEpoch, Arg: 0},
+		{At: 1 * time.Millisecond, Kind: KindHit, ID: 1},
+		{At: 2 * time.Millisecond, Kind: KindMiss, ID: 2},
+		{At: 3 * time.Millisecond, Kind: KindMiss, ID: 2},
+		{At: 4 * time.Millisecond, Kind: KindMiss, ID: 3},
+		{At: 5 * time.Millisecond, Kind: KindSubstitute, ID: 4, Arg: 9},
+		{At: 6 * time.Millisecond, Kind: KindEpoch, Arg: 1},
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a := Analyze(analysisFixture(), 10)
+	if a.Events != 7 || a.Epochs != 2 {
+		t.Fatalf("events=%d epochs=%d", a.Events, a.Epochs)
+	}
+	if a.Window != 6*time.Millisecond {
+		t.Fatalf("window = %v", a.Window)
+	}
+	// hits=1, subs=1, misses=3 → ratio 2/5.
+	if a.HitRatio != 0.4 {
+		t.Fatalf("hit ratio = %g, want 0.4", a.HitRatio)
+	}
+	if len(a.TopMissed) != 2 || a.TopMissed[0].ID != 2 || a.TopMissed[0].Count != 2 {
+		t.Fatalf("top missed = %v", a.TopMissed)
+	}
+	if len(a.TopSubstituted) != 1 || a.TopSubstituted[0].ID != 4 {
+		t.Fatalf("top substituted = %v", a.TopSubstituted)
+	}
+}
+
+func TestAnalyzeEmptyAndTopN(t *testing.T) {
+	a := Analyze(nil, 5)
+	if a.Events != 0 || a.HitRatio != 0 {
+		t.Fatal("empty analysis not zero")
+	}
+	events := []Event{
+		{Kind: KindMiss, ID: 1}, {Kind: KindMiss, ID: 2}, {Kind: KindMiss, ID: 3},
+	}
+	if got := Analyze(events, 2); len(got.TopMissed) != 2 {
+		t.Fatalf("topN not applied: %v", got.TopMissed)
+	}
+}
+
+func TestCSVRoundTripThroughAnalysis(t *testing.T) {
+	r := NewRecorder(64)
+	for _, e := range analysisFixture() {
+		r.Record(e.At, e.Kind, e.ID, e.Arg)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	a := Analyze(events, 10)
+	if a.HitRatio != 0.4 || a.Epochs != 2 {
+		t.Fatalf("analysis after round trip: %+v", a)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"at_ns,kind,id,arg\nnot-a-number,hit,1,0\n",
+		"at_ns,kind,id,arg\n0,launch,1,0\n",
+		"at_ns,kind,id,arg\n0,hit,xyz,0\n",
+		"at_ns,kind,id,arg\n0,hit,1,zz\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnalysisPrint(t *testing.T) {
+	a := Analyze(analysisFixture(), 3)
+	var sb strings.Builder
+	a.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"events: 7", "hit ratio", "most-missed", "sample 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print missing %q:\n%s", want, out)
+		}
+	}
+}

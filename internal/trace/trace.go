@@ -1,0 +1,181 @@
+// Package trace provides lightweight request-event recording for the cache
+// server: a fixed-capacity ring buffer of typed events that an operator can
+// dump as CSV to understand what the cache did and why — which requests
+// hit, missed, were substituted, which samples the loader shipped, when the
+// heap was refreshed. Recording is allocation-free per event and safe for
+// concurrent use; a nil *Recorder is a valid no-op sink, so call sites need
+// no conditionals.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"icache/internal/dataset"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindHit is a request served from the cache (exact).
+	KindHit Kind = iota
+	// KindMiss is a request that went to backend storage.
+	KindMiss
+	// KindSubstitute is a request served by a different cached sample.
+	KindSubstitute
+	// KindAdmit is a sample entering a cache region.
+	KindAdmit
+	// KindEvict is a sample leaving a cache region.
+	KindEvict
+	// KindPackage is a loader package arrival.
+	KindPackage
+	// KindRefresh is an H-list installation / heap refresh.
+	KindRefresh
+	// KindEpoch is an epoch boundary.
+	KindEpoch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHit:
+		return "hit"
+	case KindMiss:
+		return "miss"
+	case KindSubstitute:
+		return "substitute"
+	case KindAdmit:
+		return "admit"
+	case KindEvict:
+		return "evict"
+	case KindPackage:
+		return "package"
+	case KindRefresh:
+		return "refresh"
+	case KindEpoch:
+		return "epoch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded cache event. Arg's meaning depends on Kind: the
+// substitute's ID for KindSubstitute, the sample count for KindPackage, the
+// H-list length for KindRefresh, the epoch number for KindEpoch.
+type Event struct {
+	At   time.Duration // virtual or wall offset, as the recorder's owner defines
+	Kind Kind
+	ID   dataset.SampleID
+	Arg  int64
+}
+
+// Recorder is a concurrency-safe ring buffer of events. The zero value is
+// unusable; make one with NewRecorder. A nil Recorder ignores Record calls
+// and dumps nothing, so owners can leave tracing off without branching.
+type Recorder struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	filled bool
+	total  uint64
+}
+
+// NewRecorder allocates a ring holding the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d", capacity))
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest once full. Safe on nil.
+func (r *Recorder) Record(at time.Duration, kind Kind, id dataset.SampleID, arg int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = Event{At: at, Kind: kind, ID: id, Arg: arg}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total reports how many events were ever recorded (including overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Counts aggregates retained events by kind.
+func (r *Recorder) Counts() map[Kind]int {
+	counts := make(map[Kind]int)
+	for _, e := range r.Snapshot() {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// WriteCSV dumps the retained events oldest-first as CSV with the columns
+// at_ns, kind, id, arg.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ns", "kind", "id", "arg"}); err != nil {
+		return err
+	}
+	for _, e := range r.Snapshot() {
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			e.Kind.String(),
+			strconv.FormatInt(int64(e.ID), 10),
+			strconv.FormatInt(e.Arg, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

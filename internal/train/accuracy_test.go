@@ -1,0 +1,120 @@
+package train
+
+import (
+	"testing"
+
+	"icache/internal/dataset"
+	"icache/internal/sampling"
+)
+
+func TestParseSubSource(t *testing.T) {
+	if ParseSubSource("none") != SubSourceNone {
+		t.Error("none")
+	}
+	if ParseSubSource("lcache") != SubSourceLCache {
+		t.Error("lcache")
+	}
+	if ParseSubSource("hcache") != SubSourceHCache {
+		t.Error("hcache")
+	}
+	if ParseSubSource("anything-else") != SubSourceHCache {
+		t.Error("unknown strings must default to the severe class")
+	}
+}
+
+func TestEpochDistortionShapes(t *testing.T) {
+	// Full coverage, no substitution: zero distortion.
+	if d := epochDistortion(1, 1.0, 0, 0, 0); d != 0 {
+		t.Fatalf("clean epoch distorted: %g", d)
+	}
+	// Skipping unimportant samples costs much less than skipping uniformly.
+	low := epochDistortion(1, 0.7, 0.2, 0, 0)
+	high := epochDistortion(1, 0.7, 0.6, 0, 0)
+	if low >= high {
+		t.Fatalf("importance-aligned skipping (%g) not cheaper than blind (%g)", low, high)
+	}
+	// H-substitution costs more than L-substitution at equal volume.
+	lc := epochDistortion(1, 1, 0, 0.1, 0)
+	hc := epochDistortion(1, 1, 0, 0, 0.1)
+	if lc >= hc {
+		t.Fatalf("ST_LC (%g) not cheaper than ST_HC (%g)", lc, hc)
+	}
+	// Substitution penalty saturates.
+	at20 := epochDistortion(1, 1, 0, 0.20, 0)
+	at80 := epochDistortion(1, 1, 0, 0.80, 0)
+	if at20 != at80 {
+		t.Fatalf("substitution penalty did not saturate: %g vs %g", at20, at80)
+	}
+	// Sensitivity scales linearly.
+	if x1, x2 := epochDistortion(1, 0.7, 0.3, 0.1, 0), epochDistortion(2, 0.7, 0.3, 0.1, 0); x2 != 2*x1 {
+		t.Fatalf("sensitivity not linear: %g vs %g", x1, x2)
+	}
+	// trainedFrac > 1 (substitution can train duplicates) clamps cleanly.
+	if d := epochDistortion(1, 1.1, 0.5, 0, 0); d != 0 {
+		t.Fatalf("over-coverage produced distortion %g", d)
+	}
+}
+
+func TestAccuracyModelConvergence(t *testing.T) {
+	m := newAccuracyModel(ResNet18, dataset.CIFAR10(), 1)
+	var prev float64
+	for e := 0; e < 90; e++ {
+		m.observeEpoch(0)
+		top1, top5 := m.accuracy()
+		if top5 < top1 {
+			t.Fatalf("epoch %d: top5 %g < top1 %g", e, top5, top1)
+		}
+		if e > 5 && top1 < prev-0.2 {
+			t.Fatalf("epoch %d: clean accuracy regressed %g → %g", e, prev, top1)
+		}
+		prev = top1
+	}
+	if prev < ResNet18.BaseTop1-1 {
+		t.Fatalf("converged to %g, want ≈%g", prev, ResNet18.BaseTop1)
+	}
+}
+
+func TestAccuracyModelPenaltyLowersFinal(t *testing.T) {
+	clean := newAccuracyModel(ResNet18, dataset.CIFAR10(), 1)
+	dirty := newAccuracyModel(ResNet18, dataset.CIFAR10(), 1)
+	for e := 0; e < 60; e++ {
+		clean.observeEpoch(0)
+		dirty.observeEpoch(0.8)
+	}
+	c, _ := clean.accuracy()
+	d, _ := dirty.accuracy()
+	if d >= c {
+		t.Fatalf("distorted run (%g) not below clean (%g)", d, c)
+	}
+	if c-d > 1.2 || c-d < 0.5 {
+		t.Fatalf("penalty %g points, want ≈0.8 (EMA of the per-epoch distortion)", c-d)
+	}
+}
+
+func TestSkippedImportanceMean(t *testing.T) {
+	tr, err := sampling.NewTracker(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(dataset.SampleID(i), float64(i))
+	}
+	// Fetch the top half: skipped are ids 0..4, percentiles 0..4/9.
+	fetched := []dataset.SampleID{5, 6, 7, 8, 9}
+	got := skippedImportanceMean(tr, fetched)
+	want := (0.0 + 1 + 2 + 3 + 4) / 9 / 5
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("skipped mean = %g, want %g", got, want)
+	}
+	// Empty fetch: everything skipped; mean percentile of all ≈ 0.5.
+	if all := skippedImportanceMean(tr, nil); all < 0.4 || all > 0.6 {
+		t.Fatalf("all-skipped mean = %g, want ≈0.5", all)
+	}
+	full := make([]dataset.SampleID, 10)
+	for i := range full {
+		full[i] = dataset.SampleID(i)
+	}
+	if got := skippedImportanceMean(tr, full); got != 0 {
+		t.Fatalf("full fetch skipped mean = %g, want 0", got)
+	}
+}

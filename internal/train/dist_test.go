@@ -1,0 +1,103 @@
+package train
+
+import (
+	"testing"
+
+	"icache/internal/cache"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+func distBackend(t *testing.T) *storage.Backend {
+	t.Helper()
+	back, err := storage.NewBackend(smallSpec(), storage.NFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestDistDefaultRuns(t *testing.T) {
+	back := distBackend(t)
+	svc := cache.NewDistDefault(back, 2, back.Spec().TotalBytes()/5, cache.DefaultServiceConfig())
+	cfg := smallConfig(ResNet18, 2)
+	job, err := NewDistJob(cfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := job.Run()
+	if len(rs.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(rs.Epochs))
+	}
+	for _, e := range rs.Epochs {
+		if e.SamplesFetched != smallSpec().NumSamples {
+			t.Fatalf("fetched %d, want full dataset", e.SamplesFetched)
+		}
+		if e.Duration <= 0 || e.IOStall < 0 {
+			t.Fatalf("bad epoch stats: %+v", e)
+		}
+	}
+}
+
+func TestDistICacheBeatsDistDefault(t *testing.T) {
+	// The paper's §V-G claim in miniature: distributed iCache over a shared
+	// NFS backend clearly outruns uncoordinated per-node LRUs.
+	run := func(mk func(*storage.Backend) DistService) float64 {
+		back := distBackend(t)
+		cfg := smallConfig(ResNet18, 5)
+		job, err := NewDistJob(cfg, mk(back))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := job.Run()
+		steady := rs
+		steady.Epochs = rs.Epochs[2:]
+		return float64(steady.AvgEpochTime())
+	}
+	defTime := run(func(b *storage.Backend) DistService {
+		return cache.NewDistDefault(b, 2, b.Spec().TotalBytes()/5, cache.DefaultServiceConfig())
+	})
+	icTime := run(func(b *storage.Backend) DistService {
+		cl, err := icache.NewCluster(b, icache.DefaultClusterConfig(2, b.Spec().TotalBytes()/5), sampling.DefaultIIS(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	})
+	if icTime >= defTime {
+		t.Fatalf("distributed iCache (%v) not faster than distributed Default (%v)", icTime, defTime)
+	}
+}
+
+func TestDistMoreNodesFaster(t *testing.T) {
+	run := func(nodes int) float64 {
+		back := distBackend(t)
+		cl, err := icache.NewCluster(back, icache.DefaultClusterConfig(nodes, back.Spec().TotalBytes()/5), sampling.DefaultIIS(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig(ResNet18, 4)
+		job, err := NewDistJob(cfg, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := job.Run()
+		steady := rs
+		steady.Epochs = rs.Epochs[2:]
+		return float64(steady.AvgEpochTime())
+	}
+	if t2, t4 := run(2), run(4); t4 >= t2 {
+		t.Fatalf("4 nodes (%v) not faster than 2 (%v)", t4, t2)
+	}
+}
+
+func TestNewDistJobValidates(t *testing.T) {
+	back := distBackend(t)
+	svc := cache.NewDistDefault(back, 2, 1<<20, cache.DefaultServiceConfig())
+	bad := smallConfig(ResNet18, 1)
+	bad.BatchSize = 0
+	if _, err := NewDistJob(bad, svc); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package train
+
+import (
+	"testing"
+
+	"icache/internal/cache"
+	"icache/internal/storage"
+)
+
+func echoJob(t *testing.T, factor int) *Job {
+	t.Helper()
+	back, err := storage.NewBackend(smallSpec(), storage.OrangeFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(ResNet50, 3)
+	cfg.EchoFactor = factor
+	job, err := NewJob(cfg, cache.NewNoCache(back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestEchoConvertsStallToCompute(t *testing.T) {
+	plain := echoJob(t, 0).Run()
+	echoed := echoJob(t, 2).Run()
+	p, e := plain.Epochs[2], echoed.Epochs[2]
+	if e.IOStall >= p.IOStall {
+		t.Fatalf("echo did not reduce stall: %v vs %v", e.IOStall, p.IOStall)
+	}
+	if e.Compute <= p.Compute {
+		t.Fatalf("echo did not add compute: %v vs %v", e.Compute, p.Compute)
+	}
+	// Epoch duration is bounded by data arrival either way: within 5%.
+	diff := float64(e.Duration-p.Duration) / float64(p.Duration)
+	if diff > 0.05 || diff < -0.05 {
+		t.Fatalf("echo changed epoch duration by %.1f%%", 100*diff)
+	}
+	// Replayed gradients cost accuracy.
+	if echoed.FinalTop1() >= plain.FinalTop1() {
+		t.Fatalf("echo accuracy %g not below plain %g", echoed.FinalTop1(), plain.FinalTop1())
+	}
+}
+
+func TestEchoFactorValidation(t *testing.T) {
+	back, err := storage.NewBackend(smallSpec(), storage.OrangeFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(ShuffleNet, 1)
+	cfg.EchoFactor = -1
+	if _, err := NewJob(cfg, cache.NewNoCache(back)); err == nil {
+		t.Fatal("negative echo factor accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package train
+
+import (
+	"math"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/simclock"
+)
+
+// fetchChunk is the number of samples a worker fetches per scheduling turn.
+// It is 1 so that workers interleave at request granularity: the engine
+// always advances the worker with the earliest virtual time, which makes
+// arrivals at the shared FIFO resources (storage servers, network link)
+// globally non-decreasing — the regime in which the FIFO queueing model is
+// exact. Fetching whole batches atomically would serialize the workers and
+// understate pipeline concurrency by the worker count.
+const fetchChunk = 1
+
+// fetchFn fetches ids for a node's worker starting at virtual time at.
+type fetchFn func(node int, at simclock.Time, ids []dataset.SampleID) (simclock.Time, []dataset.SampleID)
+
+// gateFn reports the earliest time batch k may start fetching. ok=false
+// means the gate is not resolvable yet (the consumer has not reached the
+// batch that opens it), so the worker must wait for consumer progress.
+type gateFn func(k int) (simclock.Time, bool)
+
+// engWorker is one data-loading worker's state.
+type engWorker struct {
+	node  int
+	at    simclock.Time
+	batch int // global batch index being fetched, -1 when idle
+	pos   int // samples fetched so far within the batch
+}
+
+// fetchEngine drives data-loading workers over a set of mini-batches with
+// node affinity: batch k belongs to node k%nodes and may only be fetched by
+// that node's workers. It produces per-batch ready times and the IDs
+// actually served.
+type fetchEngine struct {
+	batches    [][]dataset.SampleID
+	nodes      int
+	fetch      fetchFn
+	gate       gateFn
+	preprocess time.Duration
+
+	workers  []engWorker
+	nodeNext []int // per node: ordinal of its next unassigned batch
+
+	ready    []simclock.Time
+	readySet []bool
+	served   [][]dataset.SampleID
+}
+
+func newFetchEngine(batches [][]dataset.SampleID, nodes, workersPerNode int, start simclock.Time,
+	fetch fetchFn, gate gateFn, preprocess time.Duration) *fetchEngine {
+	e := &fetchEngine{
+		batches:    batches,
+		nodes:      nodes,
+		fetch:      fetch,
+		gate:       gate,
+		preprocess: preprocess,
+		nodeNext:   make([]int, nodes),
+		ready:      make([]simclock.Time, len(batches)),
+		readySet:   make([]bool, len(batches)),
+		served:     make([][]dataset.SampleID, len(batches)),
+	}
+	for n := 0; n < nodes; n++ {
+		for w := 0; w < workersPerNode; w++ {
+			e.workers = append(e.workers, engWorker{node: n, at: start, batch: -1})
+		}
+	}
+	return e
+}
+
+// nodeBatch maps a node's ordinal to the global batch index.
+func (e *fetchEngine) nodeBatch(node, ordinal int) int { return ordinal*e.nodes + node }
+
+// nodeBatchCount reports how many batches a node owns.
+func (e *fetchEngine) nodeBatchCount(node int) int {
+	return (len(e.batches) - node + e.nodes - 1) / e.nodes
+}
+
+// nextEvent returns the worker that can act soonest and when. ok=false
+// means no worker can act until the consumer makes progress (all idle
+// workers blocked on unresolved gates).
+func (e *fetchEngine) nextEvent() (worker int, at simclock.Time, ok bool) {
+	best := -1
+	var bestT simclock.Time = math.MaxInt64
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.batch >= 0 {
+			if w.at < bestT {
+				best, bestT = i, w.at
+			}
+			continue
+		}
+		ord := e.nodeNext[w.node]
+		if ord >= e.nodeBatchCount(w.node) {
+			continue // node's batches exhausted
+		}
+		k := e.nodeBatch(w.node, ord)
+		g, resolvable := e.gate(k)
+		if !resolvable {
+			continue
+		}
+		t := w.at
+		if g > t {
+			t = g
+		}
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestT, true
+}
+
+// stepWorker advances one worker by one chunk (claiming a batch first if
+// idle). It reports the batch index the worker touched and whether that
+// batch just completed. fetchBusy time is returned for accounting.
+func (e *fetchEngine) stepWorker(worker int) (batch int, completed bool, busy time.Duration) {
+	w := &e.workers[worker]
+	if w.batch < 0 {
+		ord := e.nodeNext[w.node]
+		k := e.nodeBatch(w.node, ord)
+		e.nodeNext[w.node]++
+		w.batch = k
+		w.pos = 0
+		if g, ok := e.gate(k); ok && g > w.at {
+			w.at = g
+		}
+		if e.served[k] == nil {
+			e.served[k] = make([]dataset.SampleID, 0, len(e.batches[k]))
+		}
+	}
+	k := w.batch
+	ids := e.batches[k]
+	endPos := w.pos + fetchChunk
+	if endPos > len(ids) {
+		endPos = len(ids)
+	}
+	start := w.at
+	end, served := e.fetch(w.node, w.at, ids[w.pos:endPos])
+	end += time.Duration(endPos-w.pos) * e.preprocess
+	e.served[k] = append(e.served[k], served...)
+	w.at = end
+	w.pos = endPos
+	busy = end - start
+	if w.pos == len(ids) {
+		e.ready[k] = end
+		e.readySet[k] = true
+		w.batch = -1
+		return k, true, busy
+	}
+	return k, false, busy
+}
+
+// batchReady reports whether batch k has been fully fetched, and when.
+func (e *fetchEngine) batchReady(k int) (simclock.Time, bool) {
+	return e.ready[k], e.readySet[k]
+}
+
+// servedIDs returns the IDs delivered for a completed batch.
+func (e *fetchEngine) servedIDs(k int) []dataset.SampleID { return e.served[k] }
+
+// allDispatched reports whether every batch has been claimed by a worker.
+func (e *fetchEngine) allDispatched() bool {
+	for n := 0; n < e.nodes; n++ {
+		if e.nodeNext[n] < e.nodeBatchCount(n) {
+			return false
+		}
+	}
+	for i := range e.workers {
+		if e.workers[i].batch >= 0 {
+			return false
+		}
+	}
+	return true
+}

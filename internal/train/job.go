@@ -1,0 +1,442 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/simclock"
+)
+
+// DataService is what a training job consumes: a cache scheme (one of the
+// baselines in internal/cache, an iCache server or job handle, or a raw
+// storage reader). Implementations live in their own packages; this package
+// only depends on the contract.
+type DataService interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// BeginEpoch returns the epoch's fetch/train schedule, drawn from the
+	// job's importance tracker, and lets the scheme refresh per-epoch state
+	// (H-lists, substitution pools, repartitioning).
+	BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker, rng *rand.Rand) sampling.Schedule
+	// FetchBatch simulates one worker fetching ids sequentially from
+	// virtual time at, returning the completion time and the samples
+	// actually delivered (substitution may swap IDs).
+	FetchBatch(at simclock.Time, ids []dataset.SampleID) (simclock.Time, []dataset.SampleID)
+	// Stats returns cumulative cache counters.
+	Stats() metrics.CacheStats
+}
+
+// Config parameterizes one training job.
+type Config struct {
+	// Model selects the DNN profile (GPU cost, accuracy targets).
+	Model ModelProfile
+	// Dataset is the training set geometry.
+	Dataset dataset.Spec
+	// BatchSize is the per-iteration mini-batch size (paper default 256).
+	BatchSize int
+	// Workers is the number of data-loading workers (paper default 6).
+	Workers int
+	// GPUs is the data-parallel device count on this node.
+	GPUs int
+	// Epochs is the number of epochs to simulate.
+	Epochs int
+	// PreprocessPerSample is the worker-side CPU cost (decode, augment) per
+	// sample, paid after the fetch.
+	PreprocessPerSample time.Duration
+	// PrefetchFactor bounds how many batches each worker may run ahead of
+	// the GPU (PyTorch's prefetch_factor, default 2).
+	PrefetchFactor int
+	// Seed drives every random choice in the job.
+	Seed int64
+	// TrackerInit and TrackerDecay configure the importance tracker.
+	TrackerInit, TrackerDecay float64
+	// Criterion selects the importance criterion (§VI): loss-based (the
+	// paper's default), gradient-upper-bound, or proxy-model scoring.
+	Criterion sampling.Criterion
+	// EchoFactor enables Google's data echoing (§VII-B related work): while
+	// the GPU would stall waiting for the next batch, it re-trains the
+	// previous batch up to this many extra times. 0 disables echoing.
+	// Echoing trades gradient freshness for stall time; the accuracy model
+	// charges the repeated-sample distortion.
+	EchoFactor int
+}
+
+// DefaultConfig mirrors the paper's training setup for the given model and
+// dataset.
+func DefaultConfig(model ModelProfile, spec dataset.Spec) Config {
+	return Config{
+		Model:               model,
+		Dataset:             spec,
+		BatchSize:           256,
+		Workers:             6,
+		GPUs:                1,
+		Epochs:              10,
+		PreprocessPerSample: 25 * time.Microsecond,
+		PrefetchFactor:      2,
+		Seed:                1,
+		TrackerInit:         2.3,
+		TrackerDecay:        0.3,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if err := c.Dataset.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.BatchSize <= 0:
+		return fmt.Errorf("train: BatchSize=%d, want > 0", c.BatchSize)
+	case c.Workers <= 0:
+		return fmt.Errorf("train: Workers=%d, want > 0", c.Workers)
+	case c.GPUs <= 0:
+		return fmt.Errorf("train: GPUs=%d, want > 0", c.GPUs)
+	case c.Epochs <= 0:
+		return fmt.Errorf("train: Epochs=%d, want > 0", c.Epochs)
+	case c.PreprocessPerSample < 0:
+		return fmt.Errorf("train: negative PreprocessPerSample")
+	case c.PrefetchFactor <= 0:
+		return fmt.Errorf("train: PrefetchFactor=%d, want > 0", c.PrefetchFactor)
+	case c.EchoFactor < 0:
+		return fmt.Errorf("train: EchoFactor=%d, want >= 0", c.EchoFactor)
+	}
+	return c.Criterion.Validate()
+}
+
+// Job simulates one training job as a resumable stepper: each Step advances
+// one data-loading worker by one chunk and consumes any mini-batches that
+// became ready, in order, on the GPU. Steppers let several jobs interleave
+// on a shared virtual timeline (multi-job experiments) while a single job
+// just steps to completion.
+type Job struct {
+	cfg Config
+	svc DataService
+
+	tracker *sampling.Tracker
+	loss    *LossModel
+	acc     *accuracyModel
+	rng     *rand.Rand
+
+	epoch int
+	now   simclock.Time // epoch start
+
+	engine  *fetchEngine
+	flags   [][]bool
+	gpuFree simclock.Time
+	gpuDone []simclock.Time
+	gpuPtr  int // next batch the GPU consumes
+
+	// Per-epoch accumulators.
+	stall, compute, fetchBusy time.Duration
+	fetched, trained          int
+	echoed                    int // sample-trainings performed as data echoes
+	distinct                  map[dataset.SampleID]struct{}
+	subLC, subHC              int
+	// prevCompute/prevTrained describe the last consumed batch, which data
+	// echoing replays during stalls.
+	prevCompute       time.Duration
+	prevTrained       int
+	statsAtEpochStart metrics.CacheStats
+	schedFetch        []dataset.SampleID
+
+	run  metrics.RunStats
+	done bool
+}
+
+// NewJob builds a job over the given data service.
+func NewJob(cfg Config, svc DataService) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := sampling.NewTracker(cfg.Dataset.NumSamples, cfg.TrackerInit, cfg.TrackerDecay)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := NewLossModel(cfg.Dataset, modelSalt(cfg.Model.Name))
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		cfg:     cfg,
+		svc:     svc,
+		tracker: tr,
+		loss:    lm,
+		acc:     newAccuracyModel(cfg.Model, cfg.Dataset, uint64(cfg.Seed)*0x9E37+1),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		run:     metrics.RunStats{Scheme: svc.Name()},
+	}
+	j.beginEpoch()
+	return j, nil
+}
+
+// Tracker exposes the job's importance tracker.
+func (j *Job) Tracker() *sampling.Tracker { return j.tracker }
+
+// LossModel exposes the job's loss dynamics (experiments track IV drift).
+func (j *Job) LossModel() *LossModel { return j.loss }
+
+// Done reports whether all epochs have completed.
+func (j *Job) Done() bool { return j.done }
+
+// Now reports the job's current virtual time (its GPU timeline).
+func (j *Job) Now() simclock.Time { return j.gpuFree }
+
+// Results returns the per-epoch statistics collected so far.
+func (j *Job) Results() metrics.RunStats { return j.run }
+
+// beginEpoch asks the scheme for a schedule and resets epoch state.
+func (j *Job) beginEpoch() {
+	j.loss.BeginEpoch(j.epoch)
+	if j.cfg.Criterion == sampling.CriterionProxyModel {
+		// The proxy model re-scores every sample each epoch: no stale
+		// importance for skipped samples, but each score carries the
+		// proxy's estimation error.
+		for i := 0; i < j.tracker.Len(); i++ {
+			id := dataset.SampleID(i)
+			j.tracker.Observe(id, j.loss.ProxyScore(id, j.epoch))
+		}
+	}
+	sched := j.svc.BeginEpoch(j.now, j.epoch, j.tracker, j.rng)
+	j.schedFetch = sched.Fetch
+	batches := sched.Batches(j.cfg.BatchSize)
+	j.flags = j.flags[:0]
+	for i := 0; i < len(sched.Fetch); i += j.cfg.BatchSize {
+		end := i + j.cfg.BatchSize
+		if end > len(sched.Fetch) {
+			end = len(sched.Fetch)
+		}
+		j.flags = append(j.flags, sched.Train[i:end])
+	}
+	j.gpuFree = j.now
+	j.gpuDone = make([]simclock.Time, len(batches))
+	j.gpuPtr = 0
+	j.stall, j.compute, j.fetchBusy = 0, 0, 0
+	j.fetched, j.trained, j.echoed = 0, 0, 0
+	j.prevCompute, j.prevTrained = 0, 0
+	j.subLC, j.subHC = 0, 0
+	j.distinct = make(map[dataset.SampleID]struct{}, len(sched.Fetch))
+	j.statsAtEpochStart = j.svc.Stats()
+
+	depth := j.cfg.Workers * j.cfg.PrefetchFactor
+	j.engine = newFetchEngine(batches, 1, j.cfg.Workers, j.now,
+		func(_ int, at simclock.Time, ids []dataset.SampleID) (simclock.Time, []dataset.SampleID) {
+			return j.svc.FetchBatch(at, ids)
+		},
+		func(k int) (simclock.Time, bool) {
+			if k < depth {
+				return j.now, true
+			}
+			if k-depth < j.gpuPtr {
+				return j.gpuDone[k-depth], true
+			}
+			return 0, false
+		},
+		j.cfg.PreprocessPerSample)
+}
+
+// NextEventTime reports when the job's next worker action would start; max
+// int64 when the job is done. Multi-job runners use it to pick the job that
+// acts next so shared resources see requests in time order.
+func (j *Job) NextEventTime() simclock.Time {
+	if j.done {
+		return math.MaxInt64
+	}
+	if _, at, ok := j.engine.nextEvent(); ok {
+		return at
+	}
+	return j.gpuFree
+}
+
+// Step advances the job by one worker chunk (plus any GPU consumption it
+// unlocks). It reports false when the job has finished all its epochs.
+func (j *Job) Step() bool {
+	if j.done {
+		return false
+	}
+	if w, _, ok := j.engine.nextEvent(); ok {
+		_, completed, busy := j.engine.stepWorker(w)
+		j.fetchBusy += busy
+		if completed {
+			j.drainGPU()
+		}
+	} else {
+		// Workers all blocked on gates: the GPU must make progress; if it
+		// cannot, the pipeline configuration is broken.
+		if !j.drainGPU() {
+			panic("train: pipeline deadlock — prefetch depth below worker count?")
+		}
+	}
+	if j.gpuPtr == len(j.gpuDone) {
+		j.finishEpoch()
+	}
+	return !j.done
+}
+
+// drainGPU consumes every ready batch in schedule order, reporting whether
+// any progress was made.
+func (j *Job) drainGPU() bool {
+	progressed := false
+	for j.gpuPtr < len(j.gpuDone) {
+		ready, ok := j.engine.batchReady(j.gpuPtr)
+		if !ok {
+			break
+		}
+		k := j.gpuPtr
+		flags := j.flags[k]
+		served := j.engine.servedIDs(k)
+		batch := j.engine.batches[k]
+
+		src := substitutionSource(j.svc)
+		for i := range batch {
+			if served[i] != batch[i] {
+				if src == SubSourceLCache {
+					j.subLC++
+				} else {
+					j.subHC++
+				}
+			}
+		}
+		j.fetched += len(batch)
+
+		nTrain := 0
+		for _, f := range flags {
+			if f {
+				nTrain++
+			}
+		}
+		var computeT time.Duration
+		if nTrain > 0 {
+			computeT = j.cfg.Model.PerSampleGPU*time.Duration(nTrain)/time.Duration(j.cfg.GPUs) + j.cfg.Model.AllReduce(j.cfg.GPUs)
+		}
+		computeStart := j.gpuFree
+		if ready > computeStart {
+			// Data echoing: replay the previous batch while the next one is
+			// still in flight, up to EchoFactor times, instead of stalling.
+			if j.cfg.EchoFactor > 0 && j.prevCompute > 0 {
+				for e := 0; e < j.cfg.EchoFactor && computeStart+j.prevCompute <= ready; e++ {
+					computeStart += j.prevCompute
+					j.compute += j.prevCompute
+					j.echoed += j.prevTrained
+				}
+			}
+			if ready > computeStart {
+				j.stall += ready - computeStart
+				computeStart = ready
+			}
+		}
+		j.gpuFree = computeStart + computeT
+		j.gpuDone[k] = j.gpuFree
+		j.compute += computeT
+		j.prevCompute, j.prevTrained = computeT, nTrain
+
+		for i, id := range served {
+			if flags[i] {
+				l := j.loss.Train(id)
+				j.tracker.Observe(id, j.cfg.Criterion.Score(l))
+				j.distinct[id] = struct{}{}
+				j.trained++
+			}
+		}
+		j.gpuPtr++
+		progressed = true
+	}
+	return progressed
+}
+
+// substitutionSource asks the service how severe its substitutions are.
+func substitutionSource(svc DataService) SubSource {
+	if s, ok := svc.(SubstitutionSourcer); ok {
+		return ParseSubSource(s.SubstitutionSource())
+	}
+	return SubSourceHCache
+}
+
+// finishEpoch closes out epoch accounting, updates the accuracy model, and
+// rolls into the next epoch (or completes the job).
+func (j *Job) finishEpoch() {
+	duration := j.gpuFree - j.now
+
+	trainedFrac := float64(len(j.distinct)) / float64(j.cfg.Dataset.NumSamples)
+	skippedImp := skippedImportanceMean(j.tracker, j.schedFetch)
+	var subLCFrac, subHCFrac float64
+	if j.trained > 0 {
+		subLCFrac = float64(j.subLC) / float64(j.trained)
+		subHCFrac = float64(j.subHC) / float64(j.trained)
+	}
+	var echoFrac float64
+	if j.trained+j.echoed > 0 {
+		echoFrac = float64(j.echoed) / float64(j.trained+j.echoed)
+	}
+	j.acc.observeEpoch(epochDistortion(j.cfg.Model.AccuracySensitivity, trainedFrac, skippedImp, subLCFrac, subHCFrac) +
+		echoCoeff*echoFrac*j.cfg.Model.AccuracySensitivity)
+	top1, top5 := j.acc.accuracy()
+
+	after := j.svc.Stats()
+	before := j.statsAtEpochStart
+	j.run.Epochs = append(j.run.Epochs, metrics.EpochStats{
+		Epoch:          j.epoch,
+		Duration:       duration,
+		IOStall:        j.stall,
+		Compute:        j.compute,
+		FetchBusy:      j.fetchBusy,
+		SamplesFetched: j.fetched,
+		SamplesTrained: j.trained,
+		Cache: metrics.CacheStats{
+			Hits:          after.Hits - before.Hits,
+			Misses:        after.Misses - before.Misses,
+			Substitutions: after.Substitutions - before.Substitutions,
+			Inserts:       after.Inserts - before.Inserts,
+			Evictions:     after.Evictions - before.Evictions,
+			Rejections:    after.Rejections - before.Rejections,
+		},
+		Top1: top1,
+		Top5: top5,
+	})
+
+	j.epoch++
+	j.now = j.gpuFree
+	if j.epoch >= j.cfg.Epochs {
+		j.done = true
+		return
+	}
+	j.beginEpoch()
+}
+
+// Run steps the job to completion and returns its results.
+func (j *Job) Run() metrics.RunStats {
+	for j.Step() {
+	}
+	return j.run
+}
+
+// RunConcurrent interleaves several jobs on a shared timeline: at each turn
+// the job whose next worker action would start earliest acts, so shared
+// FIFO resources (storage servers, a shared cache) observe requests in
+// virtual-time order. It returns when every job is done.
+func RunConcurrent(jobs ...*Job) {
+	for {
+		best := -1
+		var bestT simclock.Time = math.MaxInt64
+		for i, j := range jobs {
+			if j.done {
+				continue
+			}
+			if t := j.NextEventTime(); t < bestT {
+				bestT = t
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		jobs[best].Step()
+	}
+}

@@ -1,0 +1,107 @@
+package train
+
+import (
+	"testing"
+
+	"icache/internal/dataset"
+)
+
+func lmSpec() dataset.Spec {
+	return dataset.Spec{Name: "lm", NumSamples: 1000, MeanSampleBytes: 100, Seed: 5}
+}
+
+func TestNewLossModelValidates(t *testing.T) {
+	if _, err := NewLossModel(dataset.Spec{}, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestLossDecaysWithTraining(t *testing.T) {
+	m, err := NewLossModel(lmSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dataset.SampleID(3)
+	first := m.Train(id)
+	for i := 0; i < 30; i++ {
+		m.Train(id)
+	}
+	last := m.Peek(id)
+	if last >= first {
+		t.Fatalf("loss did not decay: first=%g last=%g", first, last)
+	}
+	if m.TrainCount(id) != 31 {
+		t.Fatalf("TrainCount = %d, want 31", m.TrainCount(id))
+	}
+}
+
+func TestHardSamplesKeepHigherLoss(t *testing.T) {
+	spec := lmSpec()
+	m, _ := NewLossModel(spec, 0)
+	// Find a clearly hard and a clearly easy sample.
+	var hard, easy dataset.SampleID = -1, -1
+	for id := 0; id < spec.NumSamples; id++ {
+		d := spec.Difficulty(dataset.SampleID(id))
+		if d > 0.85 && hard < 0 {
+			hard = dataset.SampleID(id)
+		}
+		if d < 0.1 && easy < 0 {
+			easy = dataset.SampleID(id)
+		}
+	}
+	if hard < 0 || easy < 0 {
+		t.Fatal("difficulty distribution missing extremes")
+	}
+	for i := 0; i < 40; i++ {
+		m.Train(hard)
+		m.Train(easy)
+	}
+	if m.Peek(hard) <= 2*m.Peek(easy) {
+		t.Fatalf("hard sample loss %g not clearly above easy %g after training", m.Peek(hard), m.Peek(easy))
+	}
+}
+
+func TestLossVariesAcrossEpochs(t *testing.T) {
+	// Fig. 3's premise: the same sample's importance value changes across
+	// epochs even at a fixed training count.
+	m, _ := NewLossModel(lmSpec(), 0)
+	id := dataset.SampleID(7)
+	m.BeginEpoch(0)
+	l0 := m.Peek(id)
+	varied := false
+	for e := 1; e < 10; e++ {
+		m.BeginEpoch(e)
+		if m.Peek(id) != l0 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("loss constant across epochs — no importance drift")
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	a, _ := NewLossModel(lmSpec(), 0)
+	b, _ := NewLossModel(lmSpec(), 0)
+	for e := 0; e < 3; e++ {
+		a.BeginEpoch(e)
+		b.BeginEpoch(e)
+		for id := 0; id < 100; id++ {
+			if a.Train(dataset.SampleID(id)) != b.Train(dataset.SampleID(id)) {
+				t.Fatalf("loss model nondeterministic at epoch %d id %d", e, id)
+			}
+		}
+	}
+}
+
+func TestLossAlwaysPositive(t *testing.T) {
+	m, _ := NewLossModel(lmSpec(), 0)
+	for e := 0; e < 5; e++ {
+		m.BeginEpoch(e)
+		for id := 0; id < lmSpec().NumSamples; id++ {
+			if l := m.Train(dataset.SampleID(id)); l <= 0 {
+				t.Fatalf("loss %g <= 0 for id %d epoch %d", l, id, e)
+			}
+		}
+	}
+}

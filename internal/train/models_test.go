@@ -1,0 +1,69 @@
+package train
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZooProfilesValidate(t *testing.T) {
+	for _, m := range append(CIFARModels(), ImageNetModels()...) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []ModelProfile{
+		{},
+		{Name: "x", PerSampleGPU: 0, BaseTop1: 90, BaseTop5: 99, Tau: 10, AccuracySensitivity: 1},
+		{Name: "x", PerSampleGPU: time.Microsecond, BaseTop1: 0, BaseTop5: 99, Tau: 10, AccuracySensitivity: 1},
+		{Name: "x", PerSampleGPU: time.Microsecond, BaseTop1: 90, BaseTop5: 80, Tau: 10, AccuracySensitivity: 1},
+		{Name: "x", PerSampleGPU: time.Microsecond, BaseTop1: 90, BaseTop5: 99, Tau: 0, AccuracySensitivity: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, m)
+		}
+	}
+}
+
+func TestAllReduceScaling(t *testing.T) {
+	m := ResNet50
+	if m.AllReduce(1) != 0 {
+		t.Fatal("single GPU should not all-reduce")
+	}
+	two := m.AllReduce(2)
+	if two <= 0 {
+		t.Fatal("two GPUs need sync")
+	}
+	if eight := m.AllReduce(8); eight < two {
+		t.Fatalf("all-reduce shrank with more GPUs: %v < %v", eight, two)
+	}
+}
+
+func TestModelOrderingByCompute(t *testing.T) {
+	// The zoo must preserve the relative compute intensities the paper's
+	// analysis relies on: ShuffleNet lightest on CIFAR, VGG11 heaviest on
+	// ImageNet.
+	if !(ShuffleNet.PerSampleGPU < MobileNet.PerSampleGPU &&
+		MobileNet.PerSampleGPU < ResNet18.PerSampleGPU &&
+		ResNet18.PerSampleGPU < ResNet50.PerSampleGPU) {
+		t.Error("CIFAR zoo compute ordering broken")
+	}
+	if !(SqueezeNet.PerSampleGPU < MnasNet.PerSampleGPU &&
+		MnasNet.PerSampleGPU < DenseNet121.PerSampleGPU &&
+		DenseNet121.PerSampleGPU < VGG11.PerSampleGPU) {
+		t.Error("ImageNet zoo compute ordering broken")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("resnet18")
+	if err != nil || m.Name != "resnet18" {
+		t.Fatalf("ModelByName(resnet18) = %v, %v", m.Name, err)
+	}
+	if _, err := ModelByName("bert"); err == nil {
+		t.Fatal("unknown model resolved")
+	}
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame ensures arbitrary byte streams never panic the framer and
+// never yield a frame larger than announced.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 3, 'a', 'b', 'c'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		payload, err := ReadFrame(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("frame of %d bytes accepted", len(payload))
+		}
+		// A successfully read frame must round-trip.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil || !bytes.Equal(again, payload) {
+			t.Fatal("round trip diverged")
+		}
+	})
+}
+
+// FuzzReader ensures the decoder never panics or reads out of bounds on
+// arbitrary payloads.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d := NewReader(in)
+		_ = d.U8()
+		_ = d.U32()
+		_ = d.I64()
+		_ = d.F64()
+		_ = d.Str()
+		_ = d.BytesField()
+		if d.Off > len(in) {
+			t.Fatalf("decoder overran: off %d of %d", d.Off, len(in))
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package wire provides the length-prefixed framing and binary
+// encode/decode helpers shared by the cache RPC protocol (internal/rpc) and
+// the distributed directory protocol (internal/dkv): a 4-byte big-endian
+// payload length followed by the payload, with big-endian integers and
+// IEEE-754 float bits inside.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame bounds a single frame; a batch of 256 ImageNet samples is
+// ~30 MB, so 256 MB leaves ample headroom while rejecting garbage lengths.
+const MaxFrame = 256 << 20
+
+// WriteFrame sends one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Buffer is a simple append-based encoder.
+type Buffer struct{ B []byte }
+
+// U8 appends one byte.
+func (e *Buffer) U8(v byte) { e.B = append(e.B, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Buffer) U32(v uint32) { e.B = binary.BigEndian.AppendUint32(e.B, v) }
+
+// I64 appends a big-endian int64.
+func (e *Buffer) I64(v int64) { e.B = binary.BigEndian.AppendUint64(e.B, uint64(v)) }
+
+// F64 appends an IEEE-754 float64.
+func (e *Buffer) F64(v float64) { e.B = binary.BigEndian.AppendUint64(e.B, math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte string.
+func (e *Buffer) Bytes(v []byte) {
+	e.U32(uint32(len(v)))
+	e.B = append(e.B, v...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Buffer) Str(s string) { e.Bytes([]byte(s)) }
+
+// Reader is the matching decoder; it fails sticky on short input.
+type Reader struct {
+	B   []byte
+	Off int
+	Err error
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(b []byte) *Reader { return &Reader{B: b} }
+
+func (d *Reader) ensure(n int) bool {
+	if d.Err != nil {
+		return false
+	}
+	if d.Off+n > len(d.B) {
+		d.Err = fmt.Errorf("wire: truncated message (need %d bytes at offset %d of %d)", n, d.Off, len(d.B))
+		return false
+	}
+	return true
+}
+
+// U8 decodes one byte.
+func (d *Reader) U8() byte {
+	if !d.ensure(1) {
+		return 0
+	}
+	v := d.B[d.Off]
+	d.Off++
+	return v
+}
+
+// U32 decodes a big-endian uint32.
+func (d *Reader) U32() uint32 {
+	if !d.ensure(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.B[d.Off:])
+	d.Off += 4
+	return v
+}
+
+// I64 decodes a big-endian int64.
+func (d *Reader) I64() int64 {
+	if !d.ensure(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.B[d.Off:])
+	d.Off += 8
+	return int64(v)
+}
+
+// F64 decodes an IEEE-754 float64.
+func (d *Reader) F64() float64 {
+	if !d.ensure(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.B[d.Off:])
+	d.Off += 8
+	return math.Float64frombits(v)
+}
+
+// BytesField decodes a length-prefixed byte string (aliasing the payload).
+func (d *Reader) BytesField() []byte {
+	n := int(d.U32())
+	if d.Err != nil || !d.ensure(n) {
+		return nil
+	}
+	v := d.B[d.Off : d.Off+n : d.Off+n]
+	d.Off += n
+	return v
+}
+
+// Str decodes a length-prefixed string.
+func (d *Reader) Str() string { return string(d.BytesField()) }
