@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-short test-race chaos bench experiments experiments-quick fuzz clean
 
-all: build vet test
+all: build vet test test-race chaos
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full suite under the race detector (the chaos tests double as lock
+# coverage for every networked component).
+test-race:
+	$(GO) test -race ./...
+
+# Chaos suites only, three times with rotating seeds: -count defeats the
+# test cache, and the suites' internal seed tables ([1, 42, 1337], the
+# trial indices, and the injector seeds) cover distinct schedules per run.
+chaos:
+	$(GO) test -count=3 -run 'Chaos' ./internal/icache/ ./internal/rpc/
+	$(GO) test -count=3 -race -run 'Chaos' ./internal/icache/ ./internal/rpc/
 
 # One testing.B benchmark per paper table/figure (quick scale).
 bench:

@@ -82,3 +82,38 @@ func (d *Directory) Stats() (claims, denied int64) {
 	defer d.mu.RUnlock()
 	return d.claims, d.denied
 }
+
+// Service is the fallible directory contract shared by the in-process
+// Directory (via Local), the network DirClient, and fault-injecting
+// wrappers (faults.Dir). Cache nodes program against this interface so a
+// deployment can swap the directory transport — and tests can make it
+// unreliable — without touching cache code.
+type Service interface {
+	Lookup(id dataset.SampleID) (NodeID, bool, error)
+	Claim(id dataset.SampleID, node NodeID) (bool, error)
+	Release(id dataset.SampleID, node NodeID) (bool, error)
+	Len() (int, error)
+}
+
+// Local adapts an in-process Directory to the fallible Service contract
+// (its operations never fail).
+type Local struct{ Dir *Directory }
+
+// Lookup reports which node owns id, if any.
+func (l Local) Lookup(id dataset.SampleID) (NodeID, bool, error) {
+	n, ok := l.Dir.Lookup(id)
+	return n, ok, nil
+}
+
+// Claim registers node as the owner of id (first claim wins).
+func (l Local) Claim(id dataset.SampleID, node NodeID) (bool, error) {
+	return l.Dir.Claim(id, node), nil
+}
+
+// Release removes node's ownership of id.
+func (l Local) Release(id dataset.SampleID, node NodeID) (bool, error) {
+	return l.Dir.Release(id, node), nil
+}
+
+// Len reports the number of owned items.
+func (l Local) Len() (int, error) { return l.Dir.Len(), nil }

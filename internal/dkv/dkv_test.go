@@ -1,8 +1,12 @@
 package dkv
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
+
+	"icache/internal/dataset"
 )
 
 func TestClaimFirstWins(t *testing.T) {
@@ -78,5 +82,83 @@ func TestConcurrentClaimsExactlyOneWinner(t *testing.T) {
 	}
 	if winners != 1 {
 		t.Fatalf("%d winners, want exactly 1", winners)
+	}
+}
+
+// TestDirectoryMatchesModelUnderConcurrency is a model-based property test:
+// workers apply seeded random claim/lookup/release streams to the shared
+// Directory concurrently, but each worker owns a disjoint key range, so a
+// plain map is an exact sequential model of its slice of the state. After
+// the storm, the Directory must agree with every worker's model exactly,
+// and global invariants (Len == sum of models) must hold. Run under -race
+// this doubles as the lock-coverage test for the tentpole's chaos suite.
+func TestDirectoryMatchesModelUnderConcurrency(t *testing.T) {
+	dir := NewDirectory()
+	const workers = 8
+	const keysPerWorker = 50
+	const opsPerWorker = 2000
+
+	type model struct {
+		owner map[dataset.SampleID]NodeID
+	}
+	models := make([]model, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		models[w] = model{owner: make(map[dataset.SampleID]NodeID)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			m := models[w].owner
+			base := dataset.SampleID(w * keysPerWorker)
+			for op := 0; op < opsPerWorker; op++ {
+				id := base + dataset.SampleID(rng.Intn(keysPerWorker))
+				node := NodeID(rng.Intn(4))
+				switch rng.Intn(3) {
+				case 0: // claim
+					got := dir.Claim(id, node)
+					cur, owned := m[id]
+					want := !owned || cur == node
+					if got != want {
+						panic(fmt.Sprintf("worker %d: Claim(%d,%d) = %v, model %v", w, id, node, got, want))
+					}
+					if got && !owned {
+						m[id] = node
+					}
+				case 1: // lookup
+					gotNode, gotOK := dir.Lookup(id)
+					wantNode, wantOK := m[id]
+					if gotOK != wantOK || (gotOK && gotNode != wantNode) {
+						panic(fmt.Sprintf("worker %d: Lookup(%d) = (%v,%v), model (%v,%v)",
+							w, id, gotNode, gotOK, wantNode, wantOK))
+					}
+				default: // release
+					got := dir.Release(id, node)
+					want := m[id] == node && func() bool { _, ok := m[id]; return ok }()
+					if got != want {
+						panic(fmt.Sprintf("worker %d: Release(%d,%d) = %v, model %v", w, id, node, got, want))
+					}
+					if got {
+						delete(m, id)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += len(models[w].owner)
+		for id, want := range models[w].owner {
+			got, ok := dir.Lookup(id)
+			if !ok || got != want {
+				t.Fatalf("final state: Lookup(%d) = (%v,%v), model wants %v", id, got, ok, want)
+			}
+		}
+	}
+	if dir.Len() != total {
+		t.Fatalf("directory Len = %d, models hold %d", dir.Len(), total)
 	}
 }

@@ -3,11 +3,13 @@ package dkv
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/retry"
 	"icache/internal/wire"
 )
 
@@ -54,7 +56,9 @@ func NewDirServer(dir *Directory) *DirServer {
 // Serve accepts connections until Close. It always returns a non-nil error
 // (net.ErrClosed after a clean shutdown).
 func (s *DirServer) Serve(ln net.Listener) error {
+	s.connMu.Lock()
 	s.ln = ln
+	s.connMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -92,6 +96,8 @@ func (s *DirServer) ListenAndServe(addr string) error {
 
 // Addr reports the bound address once serving.
 func (s *DirServer) Addr() net.Addr {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	if s.ln == nil {
 		return nil
 	}
@@ -107,10 +113,10 @@ func (s *DirServer) Close() error {
 	}
 	close(s.closed)
 	var err error
+	s.connMu.Lock()
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.connMu.Lock()
 	for conn := range s.connSet {
 		conn.Close()
 	}
@@ -196,38 +202,114 @@ func dirError(err error) []byte {
 }
 
 // DirClient is a node's connection to the directory service. It satisfies
-// the same Lookup/Claim/Release contract as the in-process Directory, so a
-// cache node can be wired to either.
+// the fallible Service contract (like the in-process Directory via Local),
+// so a cache node can be wired to either.
+//
+// The client is resilient: transport failures are retried under an
+// exponential-backoff-with-jitter policy with a fresh connection per
+// attempt. Every directory operation is idempotent (Lookup is pure, Claim
+// is first-claim-wins and re-claiming one's own item succeeds, Release of
+// a non-owned item is a no-op), so blind retry is safe.
 type DirClient struct {
-	mu   sync.Mutex
-	conn net.Conn
+	addr    string
+	timeout time.Duration
+	policy  retry.Policy
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	rng    *rand.Rand
+
+	retries int64
+	redials int64
 }
 
-// DialDir connects to a directory service.
+// DialDir connects to a directory service with the default retry policy.
 func DialDir(addr string, timeout time.Duration) (*DirClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialDirPolicy(addr, timeout, retry.Default())
+}
+
+// DialDirPolicy connects with an explicit retry policy governing the
+// initial dial and every subsequent round trip.
+func DialDirPolicy(addr string, timeout time.Duration, policy retry.Policy) (*DirClient, error) {
+	c := &DirClient{
+		addr:    addr,
+		timeout: timeout,
+		policy:  policy,
+		rng:     rand.New(rand.NewSource(int64(len(addr))*0x5D17 + 3)),
+	}
+	err := retry.Do(policy, c.rng, nil, func(int) error {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dkv: dial %s: %w", addr, err)
 	}
-	return &DirClient{conn: conn}, nil
+	return c, nil
 }
 
 // Close tears down the connection.
 func (c *DirClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	return c.conn.Close()
+}
+
+// Resilience reports how many round trips needed a retry and how many
+// redials succeeded over the client's lifetime.
+func (c *DirClient) Resilience() (retries, redials int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries, c.redials
+}
+
+// redial replaces the connection (mu held).
+func (c *DirClient) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn.Close()
+	c.conn = conn
+	c.redials++
+	return nil
 }
 
 func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, req); err != nil {
-		return nil, fmt.Errorf("dkv: send: %w", err)
+	var resp []byte
+	retried := false
+	err := retry.Do(c.policy, c.rng, nil, func(attempt int) error {
+		if c.closed {
+			return retry.Permanent(fmt.Errorf("dkv: client for %s is closed", c.addr))
+		}
+		if attempt > 0 {
+			retried = true
+			if err := c.redial(); err != nil {
+				return fmt.Errorf("dkv: redial %s: %w", c.addr, err)
+			}
+		}
+		if err := wire.WriteFrame(c.conn, req); err != nil {
+			return fmt.Errorf("dkv: send: %w", err)
+		}
+		r, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return fmt.Errorf("dkv: receive: %w", err)
+		}
+		resp = r
+		return nil
+	})
+	if retried {
+		c.retries++
 	}
-	resp, err := wire.ReadFrame(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("dkv: receive: %w", err)
+		return nil, err
 	}
 	d := wire.NewReader(resp)
 	switch status := d.U8(); status {

@@ -1,11 +1,13 @@
 package dkv
 
 import (
+	"io"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"icache/internal/retry"
 	"icache/internal/wire"
 )
 
@@ -134,5 +136,64 @@ func TestDirServerCloseUnblocks(t *testing.T) {
 	case <-errc:
 	case <-time.After(2 * time.Second):
 		t.Fatal("Serve did not return after Close")
+	}
+}
+
+// TestDirClientRidesThroughMidFrameCloses runs the client against a server
+// that kills the first few connections in the middle of a response frame
+// (half a length header, then close). The client's retry/redial must absorb
+// the abuse and land the operation on the first healthy connection.
+func TestDirClientRidesThroughMidFrameCloses(t *testing.T) {
+	dir := NewDirectory()
+	srv := NewDirServer(dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	const abusive = 3
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if i < abusive {
+				go func(c net.Conn) {
+					defer c.Close()
+					buf := make([]byte, 5)
+					io.ReadFull(c, buf) // swallow part of the request
+					c.Write([]byte{0x00, 0x00}) // half a frame header, then die
+				}(conn)
+				continue
+			}
+			go srv.serveConn(conn)
+		}
+	}()
+
+	policy := retry.Policy{MaxAttempts: 8, BaseDelay: time.Millisecond,
+		MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+	c, err := DialDirPolicy(ln.Addr().String(), time.Second, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ok, err := c.Claim(7, 1)
+	if err != nil || !ok {
+		t.Fatalf("claim through mid-frame closes: (%v, %v)", ok, err)
+	}
+	node, found, err := c.Lookup(7)
+	if err != nil || !found || node != 1 {
+		t.Fatalf("lookup after abuse: (%v, %v, %v)", node, found, err)
+	}
+	retries, redials := c.Resilience()
+	if retries == 0 || redials < abusive {
+		t.Fatalf("resilience counters (retries=%d redials=%d) inconsistent with %d killed connections",
+			retries, redials, abusive)
+	}
+	if claims, _ := dir.Stats(); claims != 1 {
+		t.Fatalf("directory recorded %d claims; retries of an idempotent claim must not multiply state", claims)
 	}
 }

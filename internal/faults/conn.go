@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn and consults an Injector on every Read and Write.
+// Supported actions:
+//
+//   - ActError:   the call fails without touching the socket.
+//   - ActDrop:    the underlying connection is closed (both ends observe a
+//     reset/EOF) and the call fails — the chaos equivalent of a
+//     killed peer.
+//   - ActDelay:   the call proceeds after sleeping Delay of wall time.
+//   - ActCorrupt: the call proceeds, then one byte of the moved payload is
+//     bit-flipped — downstream framing must detect or reject it.
+//
+// Wrap the client side with WrapConn and the server side with Listener.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn attaches an injector to a connection. A nil injector returns the
+// connection unwrapped.
+func WrapConn(c net.Conn, inj *Injector) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.inj.Decide(OpConnRead)
+	if n, err, done := c.apply(d, "read"); done {
+		return n, err
+	}
+	n, err := c.Conn.Read(p)
+	if d.Action == ActCorrupt && n > 0 {
+		p[n/2] ^= 0xA5
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.inj.Decide(OpConnWrite)
+	if n, err, done := c.apply(d, "write"); done {
+		return n, err
+	}
+	if d.Action == ActCorrupt && len(p) > 0 {
+		// Corrupt a copy: callers own p and may retry with it.
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0xA5
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+// apply handles the actions common to both directions. done reports whether
+// the call is finished (error/drop); delay falls through after sleeping.
+func (c *Conn) apply(d Decision, dir string) (int, error, bool) {
+	switch d.Action {
+	case ActError:
+		return 0, fmt.Errorf("faults: conn %s: %w", dir, d.Err), true
+	case ActDrop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: conn %s dropped: %w", dir, d.Err), true
+	case ActDelay:
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+	}
+	return 0, nil, false
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// injector. Use it to chaos-test a server without touching its code:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go srv.Serve(faults.WrapListener(ln, inj))
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener attaches an injector to every accepted connection. A nil
+// injector returns the listener unwrapped.
+func WrapListener(ln net.Listener, inj *Injector) net.Listener {
+	if inj == nil {
+		return ln
+	}
+	return &Listener{Listener: ln, inj: inj}
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}

@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+	"icache/internal/simclock"
+)
+
+// Dir wraps any dkv.Service (the in-process dkv.Local, a network
+// dkv.DirClient, ...) with the fault schedule. Operations consult the
+// injector under OpDirLookup / OpDirClaim / OpDirRelease; Len is never
+// faulted (it is an observability call, not part of the data path).
+//
+// When a Clock is installed, decisions are virtual-time keyed (DecideAt),
+// which lets schedules express "partition the directory for epoch 3".
+type Dir struct {
+	inner dkv.Service
+	inj   *Injector
+
+	// Clock, when non-nil, supplies the virtual time for time-keyed rules.
+	Clock func() simclock.Time
+}
+
+// WrapDir attaches an injector to a directory service.
+func WrapDir(inner dkv.Service, inj *Injector) *Dir {
+	return &Dir{inner: inner, inj: inj}
+}
+
+func (d *Dir) decide(op string) Decision {
+	if d.Clock != nil {
+		return d.inj.DecideAt(op, d.Clock())
+	}
+	return d.inj.Decide(op)
+}
+
+func (d *Dir) gate(op string) error {
+	switch dec := d.decide(op); dec.Action {
+	case ActError, ActDrop:
+		return fmt.Errorf("faults: %s: %w", op, dec.Err)
+	case ActDelay:
+		if dec.Delay > 0 {
+			time.Sleep(dec.Delay)
+		}
+	}
+	return nil
+}
+
+// Lookup reports which node owns id, if any.
+func (d *Dir) Lookup(id dataset.SampleID) (dkv.NodeID, bool, error) {
+	if err := d.gate(OpDirLookup); err != nil {
+		return 0, false, err
+	}
+	return d.inner.Lookup(id)
+}
+
+// Claim registers node as the owner of id (first claim wins).
+func (d *Dir) Claim(id dataset.SampleID, node dkv.NodeID) (bool, error) {
+	if err := d.gate(OpDirClaim); err != nil {
+		return false, err
+	}
+	return d.inner.Claim(id, node)
+}
+
+// Release removes node's ownership of id.
+func (d *Dir) Release(id dataset.SampleID, node dkv.NodeID) (bool, error) {
+	if err := d.gate(OpDirRelease); err != nil {
+		return false, err
+	}
+	return d.inner.Release(id, node)
+}
+
+// Len reports the number of owned items (never faulted).
+func (d *Dir) Len() (int, error) { return d.inner.Len() }

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"icache/internal/dataset"
+)
+
+// Fetcher is the byte-source contract the TCP cache server consumes
+// (rpc.ByteSource): storage.DataSource and storage.FileSource satisfy it.
+type Fetcher interface {
+	Spec() dataset.Spec
+	Fetch(id dataset.SampleID) ([]byte, error)
+}
+
+// Source wraps a Fetcher and consults an Injector (operation
+// OpSourceFetch) before every Fetch. ActError and ActDrop fail the fetch;
+// ActDelay sleeps wall time first; ActCorrupt flips one payload byte.
+type Source struct {
+	inner Fetcher
+	inj   *Injector
+}
+
+// WrapSource attaches an injector to a byte source. A nil injector returns
+// a transparent wrapper.
+func WrapSource(inner Fetcher, inj *Injector) *Source {
+	return &Source{inner: inner, inj: inj}
+}
+
+// Spec returns the dataset the wrapped source serves.
+func (s *Source) Spec() dataset.Spec { return s.inner.Spec() }
+
+// Fetch applies the fault schedule, then delegates.
+func (s *Source) Fetch(id dataset.SampleID) ([]byte, error) {
+	switch d := s.inj.Decide(OpSourceFetch); d.Action {
+	case ActError, ActDrop:
+		return nil, fmt.Errorf("faults: fetch sample %d: %w", id, d.Err)
+	case ActDelay:
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+	case ActCorrupt:
+		payload, err := s.inner.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		q := append([]byte(nil), payload...)
+		if len(q) > 0 {
+			q[len(q)/2] ^= 0xA5
+		}
+		return q, nil
+	}
+	return s.inner.Fetch(id)
+}

@@ -3,10 +3,12 @@ package icache
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/dkv"
+	"icache/internal/faults"
 	"icache/internal/metrics"
 	"icache/internal/sampling"
 	"icache/internal/simclock"
@@ -26,6 +28,10 @@ type ClusterConfig struct {
 	PeerLatency time.Duration
 	// PeerBandwidth is inter-node bandwidth in bytes/sec.
 	PeerBandwidth float64
+	// DirReprobeInterval is how long (virtual time) a node stays in
+	// local-only mode after a directory failure before re-probing. Zero
+	// selects the default (250ms); it must not be negative.
+	DirReprobeInterval time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's cloud setup: per-node cache of
@@ -37,6 +43,7 @@ func DefaultClusterConfig(nodes int, perNode int64) ClusterConfig {
 		Cache:                DefaultConfig(perNode),
 		PeerLatency:          200 * time.Microsecond,
 		PeerBandwidth:        1.25e9,
+		DirReprobeInterval:   250 * time.Millisecond,
 	}
 }
 
@@ -51,6 +58,8 @@ func (c ClusterConfig) Validate() error {
 		return fmt.Errorf("icache: negative PeerLatency")
 	case c.PeerBandwidth <= 0:
 		return fmt.Errorf("icache: PeerBandwidth=%g, want > 0", c.PeerBandwidth)
+	case c.DirReprobeInterval < 0:
+		return fmt.Errorf("icache: negative DirReprobeInterval")
 	}
 	return nil
 }
@@ -62,6 +71,15 @@ type clusterNode struct {
 	ld  *loader
 	nic simclock.Resource
 	rng *rand.Rand
+
+	// lastAt is the virtual time of the fetch currently being served on
+	// this node; eviction hooks (which receive no timestamp) read it.
+	lastAt simclock.Time
+
+	// Degraded-mode state: after a directory failure the node serves
+	// local-only until dirDownUntil, then re-probes.
+	dirDown      bool
+	dirDownUntil simclock.Time
 }
 
 // Cluster is the distributed iCache: per-node cache servers sharing a
@@ -69,18 +87,38 @@ type clusterNode struct {
 // (the paper's NFS server). The training side drives it node by node with
 // FetchBatchOn; data-parallel jobs share one importance tracker, so the
 // cluster manages a single H-list.
+//
+// The cluster treats its remote dependencies as unreliable (§V's implicit
+// assumption made explicit): a failed remote-cache read falls through to a
+// backend read, a failed directory operation flips the calling node into
+// local-only mode with periodic re-probing, and ownership releases that
+// could not reach the directory are replayed once it heals. Every such
+// degradation is counted — requests served through a broken path land in
+// CacheStats.Degraded, keeping the conservation invariant
+// hits+misses+substitutions+degraded == requests exact under any fault
+// schedule.
 type Cluster struct {
 	cfg     ClusterConfig
 	backend *storage.Backend
 	spec    dataset.Spec
 	iis     sampling.IISConfig
-	dir     *dkv.Directory
+	dir     dkv.Service
+	rawDir  *dkv.Directory
 	nodes   []*clusterNode
+
+	// inj, when set, is consulted (virtual-time keyed) before directory
+	// and peer operations; see SetFaultInjector.
+	inj *faults.Injector
 
 	hlist   *sampling.HList
 	hlistIV map[dataset.SampleID]float64
 
+	// deferred holds ownership releases that failed because the directory
+	// was unreachable; they replay on the next successful directory op.
+	deferred map[dataset.SampleID]dkv.NodeID
+
 	stats      metrics.CacheStats
+	res        metrics.ResilienceStats
 	remoteHits int64
 }
 
@@ -97,13 +135,19 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 	if err := cache.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.DirReprobeInterval == 0 {
+		cfg.DirReprobeInterval = 250 * time.Millisecond
+	}
+	rawDir := dkv.NewDirectory()
 	cl := &Cluster{
-		cfg:     cfg,
-		backend: backend,
-		spec:    backend.Spec(),
-		iis:     iis,
-		dir:     dkv.NewDirectory(),
-		hlist:   sampling.NewHList(nil),
+		cfg:      cfg,
+		backend:  backend,
+		spec:     backend.Spec(),
+		iis:      iis,
+		dir:      dkv.Local{Dir: rawDir},
+		rawDir:   rawDir,
+		hlist:    sampling.NewHList(nil),
+		deferred: make(map[dataset.SampleID]dkv.NodeID),
 	}
 	cl.cfg.Cache = cache
 	for n := 0; n < cfg.Nodes; n++ {
@@ -126,13 +170,27 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 			rng: rand.New(rand.NewSource(seed + int64(n)*7)),
 		}
 		nodeID := dkv.NodeID(n)
-		node.h.onEvict = func(id dataset.SampleID) { cl.dir.Release(id, nodeID) }
-		node.l.onEvict = func(id dataset.SampleID) { cl.dir.Release(id, nodeID) }
-		node.l.claim = func(id dataset.SampleID) bool { return cl.dir.Claim(id, nodeID) }
+		node.h.onEvict = func(id dataset.SampleID) { cl.dirRelease(node, node.lastAt, id, nodeID) }
+		node.l.onEvict = func(id dataset.SampleID) { cl.dirRelease(node, node.lastAt, id, nodeID) }
+		node.l.claim = func(id dataset.SampleID) bool {
+			claimed, _ := cl.dirClaim(node, node.lastAt, id, nodeID)
+			return claimed
+		}
 		cl.nodes = append(cl.nodes, node)
 	}
 	return cl, nil
 }
+
+// SetFaultInjector attaches a chaos schedule: directory operations
+// (faults.OpDirLookup/Claim/Release) and remote-cache reads
+// (faults.OpPeerRead) consult it, keyed on the current virtual time, before
+// touching the real structures. Pass nil to detach. Intended for the chaos
+// suite; production deployments leave it unset.
+func (cl *Cluster) SetFaultInjector(inj *faults.Injector) { cl.inj = inj }
+
+// SetDirectory swaps the cluster's directory service (e.g. for a
+// fault-wrapped faults.Dir in tests). Must be called before any fetch.
+func (cl *Cluster) SetDirectory(svc dkv.Service) { cl.dir = svc }
 
 // Name identifies the scheme in experiment output.
 func (cl *Cluster) Name() string { return fmt.Sprintf("icache-%dnode", cl.cfg.Nodes) }
@@ -149,6 +207,9 @@ func (cl *Cluster) Stats() metrics.CacheStats {
 	}
 	return st
 }
+
+// Resilience reports the cluster's fault-handling counters.
+func (cl *Cluster) Resilience() metrics.ResilienceStats { return cl.res }
 
 // SubstitutionSource declares the substitution severity class for the
 // accuracy model.
@@ -168,7 +229,10 @@ func (cl *Cluster) RemoteHits() int64 { return cl.remoteHits }
 
 // DirectoryLen reports how many samples are registered in the shared
 // key-value directory.
-func (cl *Cluster) DirectoryLen() int { return cl.dir.Len() }
+func (cl *Cluster) DirectoryLen() int {
+	n, _ := cl.dir.Len()
+	return n
+}
 
 // BeginEpoch draws the epoch schedule from the shared (data-parallel)
 // tracker, installs the fresh H-list on every node, and resets per-epoch
@@ -188,6 +252,134 @@ func (cl *Cluster) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker,
 		n.l.beginEpoch()
 	}
 	return sched
+}
+
+// decide consults the attached fault injector (nil-safe) at virtual time at.
+func (cl *Cluster) decide(op string, at simclock.Time) faults.Decision {
+	if cl.inj == nil {
+		return faults.Decision{}
+	}
+	return cl.inj.DecideAt(op, at)
+}
+
+// faulted reports whether a decision denies the operation outright.
+func faulted(d faults.Decision) bool {
+	return d.Action == faults.ActError || d.Action == faults.ActDrop
+}
+
+// dirAvailable reports whether node n should attempt directory operations
+// at time at. While a node is in local-only mode, operations are skipped
+// (counted) until the re-probe deadline passes.
+func (cl *Cluster) dirAvailable(n *clusterNode, at simclock.Time) bool {
+	if !n.dirDown || at >= n.dirDownUntil {
+		return true
+	}
+	cl.res.LocalOnlySkips++
+	return false
+}
+
+// dirFault records a directory failure on node n: the node flips (or stays)
+// in local-only mode and will not re-probe before at+DirReprobeInterval.
+func (cl *Cluster) dirFault(n *clusterNode, at simclock.Time) {
+	cl.res.DirFailures++
+	if !n.dirDown {
+		n.dirDown = true
+		cl.res.LocalOnly++
+	}
+	n.dirDownUntil = at + cl.cfg.DirReprobeInterval
+}
+
+// dirHealed marks a successful directory operation on node n and replays
+// any deferred ownership releases, best effort.
+func (cl *Cluster) dirHealed(n *clusterNode) {
+	n.dirDown = false
+	if len(cl.deferred) == 0 {
+		return
+	}
+	// Replay in sorted order: map iteration order is random, and a failure
+	// mid-replay keeps the remainder queued, so an unsorted walk would make
+	// the replayed set — and thus the whole run — nondeterministic.
+	ids := make([]dataset.SampleID, 0, len(cl.deferred))
+	for id := range cl.deferred {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, err := cl.dir.Release(id, cl.deferred[id]); err != nil {
+			return // still sick; keep the rest queued
+		}
+		delete(cl.deferred, id)
+		cl.res.ReplayedReleases++
+	}
+}
+
+// dirLookup resolves id's owner through the (possibly faulted) directory.
+// degraded reports that the lookup could not be performed.
+func (cl *Cluster) dirLookup(n *clusterNode, at simclock.Time, id dataset.SampleID) (owner dkv.NodeID, ok, degraded bool) {
+	if !cl.dirAvailable(n, at) {
+		return 0, false, true
+	}
+	if faulted(cl.decide(faults.OpDirLookup, at)) {
+		cl.dirFault(n, at)
+		return 0, false, true
+	}
+	owner, ok, err := cl.dir.Lookup(id)
+	if err != nil {
+		cl.dirFault(n, at)
+		return 0, false, true
+	}
+	cl.dirHealed(n)
+	return owner, ok, false
+}
+
+// dirClaim claims id for node through the (possibly faulted) directory.
+// A directory failure counts as a failed claim: unregistered ownership
+// would break the no-duplication invariant.
+func (cl *Cluster) dirClaim(n *clusterNode, at simclock.Time, id dataset.SampleID, node dkv.NodeID) (claimed, degraded bool) {
+	if !cl.dirAvailable(n, at) {
+		return false, true
+	}
+	if faulted(cl.decide(faults.OpDirClaim, at)) {
+		cl.dirFault(n, at)
+		return false, true
+	}
+	claimed, err := cl.dir.Claim(id, node)
+	if err != nil {
+		cl.dirFault(n, at)
+		return false, true
+	}
+	if claimed {
+		// A successful claim supersedes any release deferred while the
+		// directory was down (e.g. the node evicted id and later re-admitted
+		// it): replaying the stale release would silently drop live
+		// ownership and invite duplication.
+		delete(cl.deferred, id)
+	}
+	cl.dirHealed(n)
+	return claimed, false
+}
+
+// dirRelease releases id for node. Failures are queued for replay once the
+// directory heals, so evictions never leave permanent stale ownership.
+func (cl *Cluster) dirRelease(n *clusterNode, at simclock.Time, id dataset.SampleID, node dkv.NodeID) {
+	if !cl.dirAvailable(n, at) {
+		cl.deferred[id] = node
+		cl.res.DeferredReleases++
+		return
+	}
+	if faulted(cl.decide(faults.OpDirRelease, at)) {
+		cl.dirFault(n, at)
+		cl.deferred[id] = node
+		cl.res.DeferredReleases++
+		return
+	}
+	if _, err := cl.dir.Release(id, node); err != nil {
+		cl.dirFault(n, at)
+		cl.deferred[id] = node
+		cl.res.DeferredReleases++
+		return
+	}
+	cl.dirHealed(n)
 }
 
 // remoteRead charges the cost of pulling one sample from a peer's cache:
@@ -215,7 +407,21 @@ func (cl *Cluster) FetchBatchOn(node int, at simclock.Time, ids []dataset.Sample
 	return at, served
 }
 
+// countBackendRead attributes one backend-served request to exactly one
+// outcome class: Degraded when a fault broke the preferred path, Misses
+// otherwise. This single choke point is what keeps the conservation
+// invariant exact.
+func (cl *Cluster) countBackendRead(degraded bool) {
+	if degraded {
+		cl.stats.Degraded++
+		cl.res.DegradedReads++
+	} else {
+		cl.stats.Misses++
+	}
+}
+
 func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id dataset.SampleID, served *[]dataset.SampleID) simclock.Time {
+	n.lastAt = at
 	size := cl.spec.SampleBytes(id)
 	if cl.hlist.Contains(id) {
 		if n.h.contains(id) {
@@ -223,20 +429,45 @@ func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id datas
 			*served = append(*served, id)
 			return at + cl.cfg.Cache.HitLatency
 		}
-		if owner, ok := cl.dir.Lookup(id); ok && int(owner) != node {
+		if n.l.contains(id) {
+			// The sample was cached as an L-sample in an earlier epoch and
+			// has since been promoted into the H-list. Serve it locally and
+			// try to move the copy into the H-cache; if the H-cache declines,
+			// the L-copy stays. Either way the node holds exactly one copy
+			// and keeps its directory ownership, so the no-duplication
+			// invariant survives the promotion.
+			if n.h.offer(id, size, cl.hlistIV[id]) {
+				n.l.remove(id)
+			}
+			cl.stats.Hits++
+			*served = append(*served, id)
+			return at + cl.cfg.Cache.HitLatency
+		}
+		degraded := false
+		if owner, ok, deg := cl.dirLookup(n, at, id); deg {
+			degraded = true
+		} else if ok && int(owner) != node {
 			if cl.nodes[owner].h.contains(id) || cl.nodes[owner].l.contains(id) {
-				cl.stats.Hits++
-				cl.remoteHits++
-				*served = append(*served, id)
-				return cl.remoteRead(at, int(owner), node, size)
+				if d := cl.decide(faults.OpPeerRead, at); faulted(d) {
+					// Remote copy exists but the peer is unreachable:
+					// degrade to a backend read, never stall.
+					cl.res.PeerFailures++
+					degraded = true
+				} else {
+					cl.stats.Hits++
+					cl.remoteHits++
+					*served = append(*served, id)
+					end := cl.remoteRead(at, int(owner), node, size)
+					return end + d.Delay
+				}
 			}
 		}
-		cl.stats.Misses++
+		cl.countBackendRead(degraded)
 		at = cl.backend.ReadSample(at, id)
 		iv := cl.hlistIV[id]
-		if cl.dir.Claim(id, dkv.NodeID(node)) {
+		if claimed, _ := cl.dirClaim(n, at, id, dkv.NodeID(node)); claimed {
 			if !n.h.offer(id, size, iv) {
-				cl.dir.Release(id, dkv.NodeID(node))
+				cl.dirRelease(n, at, id, dkv.NodeID(node))
 			}
 		}
 		*served = append(*served, id)
@@ -257,12 +488,21 @@ func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id datas
 		*served = append(*served, id)
 		return at + cl.cfg.Cache.HitLatency
 	}
-	if owner, ok := cl.dir.Lookup(id); ok && int(owner) != node {
+	degraded := false
+	if owner, ok, deg := cl.dirLookup(n, at, id); deg {
+		degraded = true
+	} else if ok && int(owner) != node {
 		if cl.nodes[owner].l.takeExact(id) {
-			cl.stats.Hits++
-			cl.remoteHits++
-			*served = append(*served, id)
-			return cl.remoteRead(at, int(owner), node, size)
+			if d := cl.decide(faults.OpPeerRead, at); faulted(d) {
+				cl.res.PeerFailures++
+				degraded = true
+			} else {
+				cl.stats.Hits++
+				cl.remoteHits++
+				*served = append(*served, id)
+				end := cl.remoteRead(at, int(owner), node, size)
+				return end + d.Delay
+			}
 		}
 	}
 	n.ld.recordMiss(id)
@@ -273,7 +513,7 @@ func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id datas
 			return at + cl.cfg.Cache.HitLatency
 		}
 	}
-	cl.stats.Misses++
+	cl.countBackendRead(degraded)
 	at = cl.backend.ReadSample(at, id)
 	*served = append(*served, id)
 	return at

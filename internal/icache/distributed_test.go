@@ -65,7 +65,10 @@ func TestClusterNoDuplicateOwnership(t *testing.T) {
 	// node and by no other node.
 	for n, node := range cl.nodes {
 		for id := range node.h.items {
-			owner, ok := cl.dir.Lookup(id)
+			owner, ok, err := cl.dir.Lookup(id)
+			if err != nil {
+				t.Fatalf("directory lookup of %d: %v", id, err)
+			}
 			if !ok {
 				t.Fatalf("node %d caches H-sample %d with no directory entry", n, id)
 			}

@@ -1,0 +1,75 @@
+// Package leakcheck is the goroutine-leak guard used by the chaos suites:
+// a test snapshots the goroutine count up front and verifies, with a grace
+// period for runtime bookkeeping and connection teardown, that the count
+// returns to the baseline before the test ends. A resilient client that
+// leaks a redial loop, or a server that loses track of a faulted
+// connection, fails here even when every functional assertion passes.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; declared locally so
+// non-test binaries importing sibling packages never link "testing".
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Cleanup(func())
+}
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if, after waiting up to two seconds, more goroutines are
+// still alive than at the snapshot. Call it first thing in the test:
+//
+//	func TestChaos(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+func Check(tb TB) {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		if leaked, n := wait(base, 2*time.Second); leaked {
+			tb.Errorf("leakcheck: %d goroutines at exit, %d at start; stacks:\n%s",
+				n, base, interestingStacks())
+		}
+	})
+}
+
+// wait polls until the goroutine count drops to the baseline or the grace
+// period expires. Returns (leaked, finalCount).
+func wait(base int, grace time.Duration) (bool, int) {
+	deadline := time.Now().Add(grace)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return false, n
+		}
+		if time.Now().After(deadline) {
+			return true, n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// interestingStacks dumps all goroutine stacks, filtering runtime/testing
+// scaffolding so the report points at the leak.
+func interestingStacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var keep []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.goexit") && strings.Count(g, "\n") <= 3 {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	if len(keep) == 0 {
+		return "(only runtime/testing goroutines)"
+	}
+	return fmt.Sprintf("%s", strings.Join(keep, "\n\n"))
+}

@@ -19,6 +19,7 @@ type CacheStats struct {
 	Hits          int64 // requests served from cached copies of the requested sample
 	Misses        int64 // requests that went to backend storage
 	Substitutions int64 // requests served by a different cached sample
+	Degraded      int64 // requests that fell back to backend storage because a fault broke the preferred path
 	Inserts       int64 // samples admitted into the cache
 	Evictions     int64 // samples evicted to make room
 	Rejections    int64 // fetched samples the policy declined to admit
@@ -29,16 +30,22 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Substitutions += o.Substitutions
+	s.Degraded += o.Degraded
 	s.Inserts += o.Inserts
 	s.Evictions += o.Evictions
 	s.Rejections += o.Rejections
 }
 
-// Requests reports the total number of sample requests seen.
-func (s CacheStats) Requests() int64 { return s.Hits + s.Misses + s.Substitutions }
+// Requests reports the total number of sample requests seen. Every request
+// is counted exactly once, in exactly one of the four outcome classes —
+// the conservation invariant the chaos suite asserts:
+//
+//	Hits + Misses + Substitutions + Degraded == Requests()
+func (s CacheStats) Requests() int64 { return s.Hits + s.Misses + s.Substitutions + s.Degraded }
 
 // HitRatio reports the fraction of requests served from memory (true hits
-// plus substitution hits). Zero requests yields 0.
+// plus substitution hits). Degraded requests were served from the backend,
+// so they dilute the ratio just like misses. Zero requests yields 0.
 func (s CacheStats) HitRatio() float64 {
 	req := s.Requests()
 	if req == 0 {
@@ -48,8 +55,47 @@ func (s CacheStats) HitRatio() float64 {
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d subs=%d hitRatio=%.3f inserts=%d evictions=%d",
-		s.Hits, s.Misses, s.Substitutions, s.HitRatio(), s.Inserts, s.Evictions)
+	return fmt.Sprintf("hits=%d misses=%d subs=%d degraded=%d hitRatio=%.3f inserts=%d evictions=%d",
+		s.Hits, s.Misses, s.Substitutions, s.Degraded, s.HitRatio(), s.Inserts, s.Evictions)
+}
+
+// ResilienceStats counts the fault-handling events of a distributed cache:
+// how often the directory or a peer failed, how many requests degraded to
+// backend reads, and the local-only mode churn. They are observability
+// counters, not part of the request-conservation invariant (one request may
+// produce several resilience events, or none).
+type ResilienceStats struct {
+	DirFailures      int64 // directory operations that returned errors
+	PeerFailures     int64 // remote-cache reads that failed
+	DegradedReads    int64 // requests that fell back to the backend after a fault
+	LocalOnly        int64 // transitions into local-only (directory-down) mode
+	LocalOnlySkips   int64 // directory operations skipped while local-only
+	DeferredReleases int64 // ownership releases queued while the directory was down
+	ReplayedReleases int64 // deferred releases replayed after the directory healed
+	Retries          int64 // network operations that needed at least one retry
+	Redials          int64 // connections re-established after a transport failure
+}
+
+// Add accumulates o into r.
+func (r *ResilienceStats) Add(o ResilienceStats) {
+	r.DirFailures += o.DirFailures
+	r.PeerFailures += o.PeerFailures
+	r.DegradedReads += o.DegradedReads
+	r.LocalOnly += o.LocalOnly
+	r.LocalOnlySkips += o.LocalOnlySkips
+	r.DeferredReleases += o.DeferredReleases
+	r.ReplayedReleases += o.ReplayedReleases
+	r.Retries += o.Retries
+	r.Redials += o.Redials
+}
+
+// Faults reports the total number of observed failures (directory + peer).
+func (r ResilienceStats) Faults() int64 { return r.DirFailures + r.PeerFailures }
+
+func (r ResilienceStats) String() string {
+	return fmt.Sprintf("dirFail=%d peerFail=%d degraded=%d localOnly=%d skips=%d deferredRel=%d replayedRel=%d retries=%d redials=%d",
+		r.DirFailures, r.PeerFailures, r.DegradedReads, r.LocalOnly,
+		r.LocalOnlySkips, r.DeferredReleases, r.ReplayedReleases, r.Retries, r.Redials)
 }
 
 // EpochStats describes one simulated training epoch of one job.

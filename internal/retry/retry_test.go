@@ -1,0 +1,121 @@
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Do(Default(), nil, func(time.Duration) { t.Fatal("slept without a failure") },
+		func(int) error { calls++; return nil })
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	err := Do(p, nil, func(d time.Duration) { slept = append(slept, d) }, func(attempt int) error {
+		calls++
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	for i, d := range want {
+		if slept[i] != d {
+			t.Fatalf("backoff[%d] = %v, want %v (got %v)", i, slept[i], d, slept)
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	base := errors.New("always")
+	calls := 0
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	err := Do(p, nil, func(time.Duration) {}, func(int) error { calls++; return base })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped base error", err)
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	base := errors.New("fatal")
+	calls := 0
+	err := Do(Default(), nil, func(time.Duration) { t.Fatal("slept on permanent error") },
+		func(int) error { calls++; return Permanent(base) })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err != base {
+		t.Fatalf("err = %v, want unwrapped base", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestDeadlineBoundsBackoff(t *testing.T) {
+	p := Policy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, Multiplier: 1, Deadline: 35 * time.Millisecond}
+	calls := 0
+	var total time.Duration
+	err := Do(p, nil, func(d time.Duration) { total += d }, func(int) error { calls++; return errors.New("x") })
+	if err == nil {
+		t.Fatal("deadline run succeeded")
+	}
+	// 3 backoffs of 10ms fit under 35ms; the 4th would push to 40ms.
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if total >= p.Deadline {
+		t.Fatalf("slept %v, beyond deadline %v", total, p.Deadline)
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Multiplier: 2}
+	if d := p.Backoff(1, nil); d != time.Millisecond {
+		t.Fatalf("Backoff(1) = %v", d)
+	}
+	if d := p.Backoff(8, nil); d != 4*time.Millisecond {
+		t.Fatalf("Backoff(8) = %v, want cap", d)
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Jitter: 0.2}
+	for i := 0; i < 50; i++ {
+		d := p.Backoff(1, rand.New(rand.NewSource(int64(i))))
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside ±20%%", d)
+		}
+	}
+	a := p.Backoff(1, rand.New(rand.NewSource(42)))
+	b := p.Backoff(1, rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Fatal("same seed, different jitter")
+	}
+}
+
+func TestZeroAttemptsBehavesAsOne(t *testing.T) {
+	calls := 0
+	err := Do(Policy{}, nil, func(time.Duration) {}, func(int) error { calls++; return errors.New("x") })
+	if calls != 1 || err == nil {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}

@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/retry"
 	"icache/internal/sampling"
 )
 
@@ -15,22 +17,54 @@ import (
 // to the cache server and pushes the job's H-list after importance updates.
 // A Client owns one TCP connection and serializes requests on it; data
 // loaders with several workers open one Client per worker.
+//
+// The client is resilient by default: a transport failure triggers
+// redial-and-retry under an exponential-backoff-with-jitter policy
+// (retry.Default), so a long-running training job rides through cache
+// server restarts — servers come back warm via checkpoints. Application
+// errors reported by the server (status frames) are never retried.
 type Client struct {
 	addr    string
 	timeout time.Duration
+	policy  retry.Policy
 
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+	rng    *rand.Rand
+	sleep  func(time.Duration) // nil = time.Sleep; tests may stub
+
+	retries int64 // round trips that needed at least one retry
+	redials int64 // successful connection re-establishments
 }
 
-// Dial connects to an iCache server.
+// Dial connects to an iCache server with the default retry policy.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialPolicy(addr, timeout, retry.Default())
+}
+
+// DialPolicy connects with an explicit retry policy. The policy governs
+// both the initial dial and every subsequent round trip. Jitter draws from
+// a PRNG seeded deterministically per client so chaos tests replay.
+func DialPolicy(addr string, timeout time.Duration, policy retry.Policy) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		timeout: timeout,
+		policy:  policy,
+		rng:     rand.New(rand.NewSource(int64(len(addr))*0x9E37 + 1)),
+	}
+	err := retry.Do(policy, c.rng, c.sleep, func(int) error {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, timeout: timeout, conn: conn}, nil
+	return c, nil
 }
 
 // Close tears down the connection.
@@ -41,19 +75,43 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// Resilience reports how many round trips needed a retry and how many
+// redials succeeded over the client's lifetime.
+func (c *Client) Resilience() (retries, redials int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries, c.redials
+}
+
 // roundTrip sends one request frame and decodes the status byte of the
-// response, returning the remaining body. A transport failure triggers one
-// transparent redial-and-retry — cache servers restart (warm, via
-// checkpoints) and a long-running training job should ride through it —
-// before the error is surfaced.
+// response, returning the remaining body. Transport failures (broken
+// connection, failed write/read) are retried under the client's policy
+// with a fresh connection per attempt; server status errors surface
+// immediately.
 func (c *Client) roundTrip(req []byte) (*reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.exchange(req)
-	if err != nil && !c.closed {
-		if redialErr := c.redial(); redialErr == nil {
-			resp, err = c.exchange(req)
+	var resp []byte
+	retried := false
+	err := retry.Do(c.policy, c.rng, c.sleep, func(attempt int) error {
+		if c.closed {
+			return retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
 		}
+		if attempt > 0 {
+			retried = true
+			if err := c.redial(); err != nil {
+				return fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+			}
+		}
+		r, err := c.exchange(req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	if retried {
+		c.retries++
 	}
 	if err != nil {
 		return nil, err
@@ -89,6 +147,7 @@ func (c *Client) redial() error {
 	}
 	c.conn.Close()
 	c.conn = conn
+	c.redials++
 	return nil
 }
 

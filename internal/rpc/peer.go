@@ -3,16 +3,23 @@ package rpc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/dkv"
+	"icache/internal/retry"
 )
 
 // This file adds the distributed deployment of §III-E to the network
 // server: nodes share a dkv directory service (which sample lives where)
 // and answer PeerGet requests for samples they cache, so a miss on one node
 // can be served from another node's DRAM instead of the backend.
+//
+// Every remote dependency here is treated as unreliable: directory and peer
+// failures are counted, the failing peer connection is discarded (the next
+// request re-dials), and the caller always degrades to a backend read —
+// a sick peer must never stall the training pipeline.
 
 // opPeerGet fetches a resident sample's payload from a peer cache node.
 const opPeerGet = 6
@@ -20,20 +27,24 @@ const opPeerGet = 6
 // distState is the optional distributed wiring of a Server.
 type distState struct {
 	nodeID    dkv.NodeID
-	dir       *dkv.DirClient
+	dir       dkv.Service
 	peerAddrs map[dkv.NodeID]string
 
 	mu    sync.Mutex
 	peers map[dkv.NodeID]*Client
 
-	peerServes int64 // requests this node answered for peers
-	peerHits   int64 // local misses served from a peer's cache
+	peerServes   int64 // requests this node answered for peers (atomic)
+	peerHits     int64 // local misses served from a peer's cache (atomic)
+	peerFailures int64 // peer dials/reads that failed (atomic)
+	dirFailures  int64 // directory operations that failed (atomic)
 }
 
 // EnableDistributed joins the server to a directory service and a peer set.
 // nodeID must be unique across the deployment; peerAddrs maps the *other*
-// nodes' IDs to their cache-service addresses. Call before Serve.
-func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir *dkv.DirClient, peerAddrs map[dkv.NodeID]string) {
+// nodes' IDs to their cache-service addresses. dir is typically a
+// *dkv.DirClient, but any dkv.Service works — including a fault-injecting
+// faults.Dir in chaos tests. Call before Serve.
+func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir dkv.Service, peerAddrs map[dkv.NodeID]string) {
 	s.dist = &distState{
 		nodeID:    nodeID,
 		dir:       dir,
@@ -48,10 +59,21 @@ func (s *Server) PeerStats() (served, hits int64) {
 	if s.dist == nil {
 		return 0, 0
 	}
-	return s.dist.peerServes, s.dist.peerHits
+	return atomic.LoadInt64(&s.dist.peerServes), atomic.LoadInt64(&s.dist.peerHits)
 }
 
-// peer returns a (cached) client connection to the given node.
+// ResilienceStats reports (peer failures, directory failures) — remote
+// operations that failed and were degraded around; zeros when distribution
+// is disabled.
+func (s *Server) ResilienceStats() (peerFailures, dirFailures int64) {
+	if s.dist == nil {
+		return 0, 0
+	}
+	return atomic.LoadInt64(&s.dist.peerFailures), atomic.LoadInt64(&s.dist.dirFailures)
+}
+
+// peer returns a (cached) client connection to the given node. Peer clients
+// use the tight retry.Peer policy: degrading to the backend beats waiting.
 func (d *distState) peer(node dkv.NodeID) (*Client, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -62,12 +84,23 @@ func (d *distState) peer(node dkv.NodeID) (*Client, error) {
 	if !ok {
 		return nil, fmt.Errorf("rpc: no address for peer node %d", node)
 	}
-	c, err := Dial(addr, 2*time.Second)
+	c, err := DialPolicy(addr, 2*time.Second, retry.Peer())
 	if err != nil {
 		return nil, err
 	}
 	d.peers[node] = c
 	return c, nil
+}
+
+// dropPeer discards a cached peer client after a failure so the next
+// request re-dials instead of reusing a poisoned connection.
+func (d *distState) dropPeer(node dkv.NodeID, c *Client) {
+	d.mu.Lock()
+	if cur, ok := d.peers[node]; ok && cur == c {
+		delete(d.peers, node)
+	}
+	d.mu.Unlock()
+	c.Close()
 }
 
 // closePeers tears down cached peer connections (on server Close).
@@ -108,7 +141,7 @@ func (s *Server) handlePeerGet(d *reader) []byte {
 	s.mu.Lock()
 	payload, ok := s.payloads[id]
 	if ok && s.dist != nil {
-		s.dist.peerServes++
+		atomic.AddInt64(&s.dist.peerServes, 1)
 	}
 	s.mu.Unlock()
 	var e buffer
@@ -123,7 +156,10 @@ func (s *Server) handlePeerGet(d *reader) []byte {
 }
 
 // resolveRemote tries to serve a payload from the owning peer's cache.
-// Called with s.mu held; it drops the lock across network calls.
+// Any failure along the way — directory unreachable, peer dial failure,
+// peer read failure — is counted and degrades to (nil, false), which sends
+// the caller to the backend. Called with s.mu held; it drops the lock
+// across network calls.
 func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 	dist := s.dist
 	if dist == nil {
@@ -132,25 +168,37 @@ func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 	s.mu.Unlock()
 	defer s.mu.Lock()
 	owner, found, err := dist.dir.Lookup(id)
-	if err != nil || !found || owner == dist.nodeID {
+	if err != nil {
+		atomic.AddInt64(&dist.dirFailures, 1)
+		return nil, false
+	}
+	if !found || owner == dist.nodeID {
 		return nil, false
 	}
 	peer, err := dist.peer(owner)
 	if err != nil {
+		atomic.AddInt64(&dist.peerFailures, 1)
 		return nil, false
 	}
 	payload, ok, err := peer.PeerGet(id)
-	if err != nil || !ok {
+	if err != nil {
+		atomic.AddInt64(&dist.peerFailures, 1)
+		dist.dropPeer(owner, peer)
 		return nil, false
 	}
-	dist.peerHits++
+	if !ok {
+		return nil, false
+	}
+	atomic.AddInt64(&dist.peerHits, 1)
 	return payload, true
 }
 
 // claimOwnership registers this node in the directory for a sample it just
 // admitted. Reports whether the claim succeeded (false means another node
-// already owns it, so this node must not keep a duplicate copy). Called
-// with s.mu held; drops the lock across the network call.
+// already owns it, so this node must not keep a duplicate copy — and a
+// directory failure conservatively counts as a failed claim, since
+// unregistered ownership would invite duplication). Called with s.mu held;
+// drops the lock across the network call.
 func (s *Server) claimOwnership(id dataset.SampleID) bool {
 	dist := s.dist
 	if dist == nil {
@@ -159,7 +207,11 @@ func (s *Server) claimOwnership(id dataset.SampleID) bool {
 	s.mu.Unlock()
 	defer s.mu.Lock()
 	ok, err := dist.dir.Claim(id, dist.nodeID)
-	return err == nil && ok
+	if err != nil {
+		atomic.AddInt64(&dist.dirFailures, 1)
+		return false
+	}
+	return ok
 }
 
 // releaseOwnership drops the directory entry for an evicted sample.
@@ -171,6 +223,8 @@ func (s *Server) releaseOwnership(id dataset.SampleID) {
 	// Best effort: eviction hooks run under s.mu; the release is async so
 	// the cache path never blocks on the directory.
 	go func() {
-		_, _ = dist.dir.Release(id, dist.nodeID)
+		if _, err := dist.dir.Release(id, dist.nodeID); err != nil {
+			atomic.AddInt64(&dist.dirFailures, 1)
+		}
 	}()
 }

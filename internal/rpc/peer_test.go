@@ -181,7 +181,7 @@ func TestDistributedSurvivesDirectoryOutage(t *testing.T) {
 	// fetches rather than failing requests.
 	f := startDistFixture(t)
 	c := dial(t, f.addrs[0])
-	f.nodes[0].dist.dir.Close()
+	f.nodes[0].dist.dir.(*dkv.DirClient).Close()
 	var ids []dataset.SampleID
 	for id := dataset.SampleID(100); id < 110; id++ {
 		ids = append(ids, id)

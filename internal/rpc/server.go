@@ -72,7 +72,9 @@ func (s *Server) now() simclock.Time { return simclock.Time(time.Since(s.start))
 // Serve accepts connections on ln until Close is called. It always returns
 // a non-nil error (net.ErrClosed after a clean shutdown).
 func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
 	s.ln = ln
+	s.connMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -110,6 +112,8 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Addr reports the bound listener address (once Serve has been called).
 func (s *Server) Addr() net.Addr {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	if s.ln == nil {
 		return nil
 	}
@@ -125,10 +129,10 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	var err error
+	s.connMu.Lock()
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.connMu.Lock()
 	for conn := range s.connSet {
 		conn.Close()
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/faults"
 	"icache/internal/simclock"
 )
 
@@ -115,6 +116,7 @@ type Backend struct {
 	servers []*simclock.Pool
 	link    *simclock.Resource
 	stats   Stats
+	inj     *faults.Injector
 }
 
 // NewBackend builds a backend for the dataset described by spec.
@@ -155,6 +157,25 @@ func (b *Backend) Reset() {
 	}
 }
 
+// SetFaultInjector attaches a chaos schedule to the backend. The simulated
+// backend has no error channel (reads always complete in virtual time), so
+// only ActDelay decisions apply: a fired faults.OpBackendRead rule adds its
+// Delay to the request's service time, modelling a brown-out or a slow
+// storage server. Pass nil to detach.
+func (b *Backend) SetFaultInjector(inj *faults.Injector) { b.inj = inj }
+
+// faultDelay reports the injected extra service time for one read at
+// virtual time at (zero without an injector or a fired delay rule).
+func (b *Backend) faultDelay(at simclock.Time) time.Duration {
+	if b.inj == nil {
+		return 0
+	}
+	if d := b.inj.DecideAt(faults.OpBackendRead, at); d.Action == faults.ActDelay {
+		return d.Delay
+	}
+	return 0
+}
+
 // homeServer returns the server holding the first stripe of a sample. Files
 // are laid out round-robin by ID, which spreads a random workload evenly.
 func (b *Backend) homeServer(id dataset.SampleID) int {
@@ -175,7 +196,7 @@ func (b *Backend) ReadSample(at simclock.Time, id dataset.SampleID) simclock.Tim
 		// Striped across servers: each moves ~1/Servers of the bytes.
 		perServer = (size + b.cfg.Servers - 1) / b.cfg.Servers
 	}
-	service := b.cfg.PerReadOverhead + bps(perServer, b.cfg.ServerBandwidth)
+	service := b.cfg.PerReadOverhead + bps(perServer, b.cfg.ServerBandwidth) + b.faultDelay(at)
 	_, srvEnd := b.servers[b.homeServer(id)].Acquire(at, service)
 	_, end := b.link.Acquire(srvEnd, bps(size, b.cfg.LinkBandwidth))
 	return end
@@ -193,7 +214,7 @@ func (b *Backend) ReadPackage(at simclock.Time, totalBytes int) simclock.Time {
 	b.stats.BytesRead += int64(totalBytes)
 
 	perServer := (totalBytes + b.cfg.Servers - 1) / b.cfg.Servers
-	service := b.cfg.PerReadOverhead + bps(perServer, b.cfg.ServerBandwidth)
+	service := b.cfg.PerReadOverhead + bps(perServer, b.cfg.ServerBandwidth) + b.faultDelay(at)
 	var latest simclock.Time
 	for _, s := range b.servers {
 		if _, end := s.Acquire(at, service); end > latest {
@@ -211,14 +232,14 @@ func bps(bytes int, bandwidth float64) time.Duration {
 
 // DataSource is the real-bytes side of the backend, used by the TCP cache
 // server and the examples. It serves deterministic payloads generated from
-// the dataset spec and supports failure injection for resilience tests.
+// the dataset spec and supports failure injection for resilience tests
+// through the shared internal/faults substrate.
 type DataSource struct {
 	spec dataset.Spec
 
-	mu       sync.Mutex
-	reads    int64
-	failNext int
-	failErr  error
+	mu    sync.Mutex
+	reads int64
+	inj   *faults.Injector
 }
 
 // NewDataSource builds a byte-serving source for the dataset.
@@ -232,6 +253,27 @@ func NewDataSource(spec dataset.Spec) (*DataSource, error) {
 // Spec returns the dataset this source serves.
 func (d *DataSource) Spec() dataset.Spec { return d.spec }
 
+// Injector returns the source's fault injector, creating an empty one on
+// first use. Fetch is frequently called from background loader goroutines,
+// so arming faults through the injector (which is internally synchronized)
+// is race-free — unlike the pre-faults ad-hoc counter this replaces.
+func (d *DataSource) Injector() *faults.Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inj == nil {
+		d.inj = faults.New(0)
+	}
+	return d.inj
+}
+
+// SetInjector attaches a caller-owned fault schedule (e.g. one shared with
+// a wrapped listener in a chaos test). Pass nil to detach.
+func (d *DataSource) SetInjector(inj *faults.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = inj
+}
+
 // Fetch returns the payload of the sample, or an injected/real error.
 func (d *DataSource) Fetch(id dataset.SampleID) ([]byte, error) {
 	if !d.spec.Contains(id) {
@@ -239,13 +281,16 @@ func (d *DataSource) Fetch(id dataset.SampleID) ([]byte, error) {
 	}
 	d.mu.Lock()
 	d.reads++
-	if d.failNext > 0 {
-		d.failNext--
-		err := d.failErr
-		d.mu.Unlock()
-		return nil, err
-	}
+	inj := d.inj
 	d.mu.Unlock()
+	switch dec := inj.Decide(faults.OpSourceFetch); dec.Action {
+	case faults.ActError, faults.ActDrop:
+		return nil, dec.Err
+	case faults.ActDelay:
+		if dec.Delay > 0 {
+			time.Sleep(dec.Delay)
+		}
+	}
 	return d.spec.Payload(id), nil
 }
 
@@ -257,11 +302,9 @@ func (d *DataSource) Reads() int64 {
 	return d.reads
 }
 
-// FailNext arranges for the next n Fetch calls to return err. Used by tests
-// to exercise the cache server's error paths.
+// FailNext arranges for the next n Fetch calls to return err — a
+// compatibility shim over the faults injector for the original one-off
+// failure hook. New tests should program the injector directly.
 func (d *DataSource) FailNext(n int, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failNext = n
-	d.failErr = err
+	d.Injector().Add(faults.FailN(faults.OpSourceFetch, n, err))
 }

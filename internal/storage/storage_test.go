@@ -3,11 +3,13 @@ package storage
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/faults"
 	"icache/internal/simclock"
 )
 
@@ -234,5 +236,85 @@ func TestDataSourceFailureInjection(t *testing.T) {
 	}
 	if _, err := src.Fetch(0); err != nil {
 		t.Fatalf("fetch after injections exhausted: %v", err)
+	}
+}
+
+// TestDataSourceConcurrentFailureInjection hammers Fetch from many
+// goroutines while FailNext re-arms concurrently — the scenario of the
+// async L-cache loader fetching while a test injects failures. Run under
+// -race this guards the injector migration; functionally it checks that
+// every call either serves a valid payload or the injected error.
+func TestDataSourceConcurrentFailureInjection(t *testing.T) {
+	src, err := NewDataSource(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			src.FailNext(1, boom)
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]int64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				payload, err := src.Fetch(dataset.SampleID(i % 100))
+				switch {
+				case err == nil:
+					if len(payload) == 0 {
+						t.Errorf("worker %d: empty payload without error", w)
+						return
+					}
+				case errors.Is(err, boom):
+					errs[w]++
+				default:
+					t.Errorf("worker %d: unexpected error %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+	var total int64
+	for _, n := range errs {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no injected failure was observed despite 200 armed")
+	}
+	if total > 200 {
+		t.Errorf("%d injected failures observed, only 200 armed", total)
+	}
+}
+
+// TestBackendFaultDelaySlowsReads verifies the injector's delay action
+// stretches a read's virtual-time cost without touching fault-free reads.
+func TestBackendFaultDelaySlowsReads(t *testing.T) {
+	spec := testSpec()
+	clean := mustBackend(t, spec, NFS())
+	faulty := mustBackend(t, spec, NFS())
+	faulty.SetFaultInjector(faults.New(1).Add(
+		faults.Rule{Op: faults.OpBackendRead, FromTime: 1, Action: faults.ActDelay, Delay: 50 * time.Millisecond},
+	))
+
+	cleanEnd := clean.ReadSample(time.Second, 7)
+	faultyEnd := faulty.ReadSample(time.Second, 7)
+	if faultyEnd <= cleanEnd {
+		t.Fatalf("faulted read finished at %v, clean at %v; want slower", faultyEnd, cleanEnd)
+	}
+	if got, want := faultyEnd-cleanEnd, 50*time.Millisecond; got != want {
+		t.Fatalf("injected delay %v, want %v", got, want)
+	}
+	// Outside the schedule (injector detached) reads cost the same again.
+	faulty.SetFaultInjector(nil)
+	if a, b := clean.ReadSample(2*time.Second, 8), faulty.ReadSample(2*time.Second+50*time.Millisecond, 8); b-a != 50*time.Millisecond {
+		t.Fatalf("detached injector still perturbing reads (%v vs %v)", a, b)
 	}
 }

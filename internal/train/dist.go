@@ -239,6 +239,7 @@ func (d *DistJob) runEpoch(epoch int, t0 simclock.Time) simclock.Time {
 			Hits:          after.Hits - statsBefore.Hits,
 			Misses:        after.Misses - statsBefore.Misses,
 			Substitutions: after.Substitutions - statsBefore.Substitutions,
+			Degraded:      after.Degraded - statsBefore.Degraded,
 			Inserts:       after.Inserts - statsBefore.Inserts,
 			Evictions:     after.Evictions - statsBefore.Evictions,
 			Rejections:    after.Rejections - statsBefore.Rejections,

@@ -393,6 +393,7 @@ func (j *Job) finishEpoch() {
 			Hits:          after.Hits - before.Hits,
 			Misses:        after.Misses - before.Misses,
 			Substitutions: after.Substitutions - before.Substitutions,
+			Degraded:      after.Degraded - before.Degraded,
 			Inserts:       after.Inserts - before.Inserts,
 			Evictions:     after.Evictions - before.Evictions,
 			Rejections:    after.Rejections - before.Rejections,
