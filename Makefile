@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving experiments experiments-quick fuzz clean
 
 all: build vet test test-race chaos
 
@@ -20,7 +20,9 @@ test-short:
 	$(GO) test -short ./...
 
 # Full suite under the race detector (the chaos tests double as lock
-# coverage for every networked component).
+# coverage for every networked component, and the concurrent-clients
+# suites in internal/rpc exercise the sharded store / singleflight /
+# prefetch-pool interleavings).
 test-race:
 	$(GO) test -race ./...
 
@@ -34,6 +36,14 @@ chaos:
 # One testing.B benchmark per paper table/figure (quick scale).
 bench:
 	$(GO) test -bench . -benchmem
+
+# Serving-path throughput + allocation benchmarks (the PR 2 sharded-lock /
+# miss-coalescing / buffer-pool work), archived as JSON. -count=5 gives
+# five raw measurements per benchmark; icache-benchjson keeps them all.
+bench-serving:
+	$(GO) test -run NONE -bench 'ServeConcurrent|ServeHotSet' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_serving.txt
+	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/wire/ >> /tmp/bench_serving.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_serving.json < /tmp/bench_serving.txt
 
 # Regenerate the full evaluation at paper scale (~4 minutes).
 experiments:

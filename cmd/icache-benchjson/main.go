@@ -1,0 +1,185 @@
+// Command icache-benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark runs can be archived and diffed
+// (BENCH_serving.json in the repo root is produced this way by the
+// `make bench-serving` target).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/rpc/ | icache-benchjson -label after > bench.json
+//	go test -bench . ./internal/rpc/ | icache-benchjson -update BENCH_serving.json
+//
+// With -update, the run is written into the named combined document as its
+// "after" section, preserving the archived "before" (pre-optimisation)
+// measurements and prose; the file is created from scratch if missing.
+//
+// Each benchmark result line of the form
+//
+//	BenchmarkServeConcurrent/clients=8  471  2396476 ns/op  6676 samples/sec
+//
+// becomes one JSON object carrying the name, iteration count, ns/op, and
+// every extra metric pair (B/op, allocs/op, custom ReportMetric units).
+// Multiple -count runs of the same benchmark appear as repeated entries;
+// consumers can aggregate however they like (the raw data is the record).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the full archived run.
+type Document struct {
+	Label     string            `json:"label,omitempty"`
+	Timestamp string            `json:"timestamp"`
+	Env       map[string]string `json:"env,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+// Combined is the before/after archive shape used by BENCH_serving.json.
+// Description, benchmark prose, and the summary table are free-form and
+// preserved verbatim across -update runs.
+type Combined struct {
+	Description string          `json:"description,omitempty"`
+	Benchmark   string          `json:"benchmark,omitempty"`
+	Summary     json.RawMessage `json:"summary,omitempty"`
+	Before      *Document       `json:"before,omitempty"`
+	After       *Document       `json:"after,omitempty"`
+}
+
+// parseLine decodes one "Benchmark..." output line, or returns false for
+// any other line (headers, PASS/ok, blank).
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Minimum shape: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+// parseEnvLine captures the go-test context header lines (goos, goarch,
+// pkg, cpu) so the archived document records where it was measured.
+func parseEnvLine(line string, env map[string]string) bool {
+	for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+		prefix := key + ": "
+		if strings.HasPrefix(line, prefix) {
+			// pkg appears once per package; keep them all, comma-joined.
+			val := strings.TrimPrefix(line, prefix)
+			if prev, ok := env[key]; ok && key == "pkg" {
+				val = prev + "," + val
+			}
+			env[key] = val
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	label := flag.String("label", "", "label stored in the output document (e.g. before, after)")
+	update := flag.String("update", "", "write the run into this combined before/after archive as its 'after' section (preserving 'before') instead of printing to stdout")
+	flag.Parse()
+
+	doc := Document{
+		Label:     *label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Env:       map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if parseEnvLine(line, doc.Env) {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "icache-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Env) == 0 {
+		doc.Env = nil
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "icache-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if *update != "" {
+		if err := updateArchive(*update, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "icache-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "icache-benchjson: updated %s (%d results)\n", *update, len(doc.Results))
+		return
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icache-benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// updateArchive merges doc into the combined archive at path as its
+// "after" run. A pre-existing "before" section (the archived baseline) is
+// never touched; if the file is new, the run doubles as the baseline.
+func updateArchive(path string, doc *Document) error {
+	var arch Combined
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &arch); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	arch.After = doc
+	if arch.Before == nil {
+		arch.Before = doc
+	}
+	out, err := json.MarshalIndent(&arch, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

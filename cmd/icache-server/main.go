@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +73,7 @@ func main() {
 		cacheFrac = flag.Float64("cache-frac", 0.2, "cache size as a fraction of the dataset")
 		hShare    = flag.Float64("h-share", 0.9, "fraction of the cache given to the H-region")
 		noLCache  = flag.Bool("no-lcache", false, "disable the L-cache (the +HC ablation configuration)")
+		prefetchN = flag.Int("prefetch-workers", 4, "async prefetch worker pool size for L-package byte loading (the paper's Fig. 15 knob); 0 disables prefetching")
 		seed      = flag.Int64("seed", 42, "server randomness seed")
 		ckptPath  = flag.String("checkpoint", "", "warm-restart checkpoint file: load at boot, save at shutdown")
 		metricsAt = flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (e.g. :7830)")
@@ -97,6 +99,7 @@ func main() {
 	cfg := icache.DefaultConfig(int64(float64(spec.TotalBytes()) * *cacheFrac))
 	cfg.HShare = *hShare
 	cfg.EnableLCache = !*noLCache
+	cfg.PrefetchWorkers = *prefetchN
 	cacheSrv, err := icache.NewServer(backend, cfg, sampling.DefaultIIS(), *seed)
 	if err != nil {
 		log.Fatalf("icache-server: %v", err)
@@ -150,10 +153,15 @@ func main() {
 		srv.EnableDistributed(dkv.NodeID(*nodeID), dirClient, peerMap)
 		log.Printf("icache-server: distributed node %d, directory %s, %d peers", *nodeID, *dirAddr, len(peerMap))
 	}
+	// The metrics endpoint gets a real http.Server so shutdown is graceful:
+	// in-flight scrapes finish (bounded by a timeout) instead of being cut
+	// mid-response when the process exits.
+	var metricsSrv *http.Server
 	if *metricsAt != "" {
+		metricsSrv = &http.Server{Addr: *metricsAt, Handler: srv.MetricsHandler()}
 		go func() {
 			log.Printf("icache-server: metrics on http://%s/metrics", *metricsAt)
-			if err := http.ListenAndServe(*metricsAt, srv.MetricsHandler()); err != nil {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("icache-server: metrics: %v", err)
 			}
 		}()
@@ -163,6 +171,13 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("icache-server: shutting down")
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				log.Printf("icache-server: metrics shutdown: %v", err)
+			}
+			cancel()
+		}
 		if *ckptPath != "" {
 			if err := srv.SaveCheckpointFile(*ckptPath); err != nil {
 				log.Printf("icache-server: checkpoint save: %v", err)

@@ -148,6 +148,14 @@ type Config struct {
 	// target a data-center NVMe: 80µs, 2 GB/s).
 	Tier2ReadLatency time.Duration
 	Tier2Bandwidth   float64
+	// PrefetchWorkers sizes the serving path's asynchronous prefetch
+	// worker pool (the paper's Fig. 15 knob): when the background loader
+	// delivers an L-package, this many workers pull the real sample bytes
+	// from the backend concurrently so first requests hit DRAM. It only
+	// affects byte serving (the RPC server); the virtual-time simulation
+	// ignores it. 0 disables prefetching (bytes load lazily on first
+	// request).
+	PrefetchWorkers int
 	// RepackPerSample is the loading thread's bookkeeping cost per sample
 	// packed: dynamic packaging must gather each scattered L-sample from
 	// its original location (a server-side seek-bound read), write it into
@@ -174,6 +182,7 @@ func DefaultConfig(capacityBytes int64) Config {
 		FreqDecay:        0.5,
 		Tier2ReadLatency: 80 * time.Microsecond,
 		Tier2Bandwidth:   2e9,
+		PrefetchWorkers:  4,
 		RepackPerSample:  1700 * time.Microsecond,
 	}
 }
@@ -195,6 +204,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("icache: BenefitThreshold=%g, want > 0", c.BenefitThreshold)
 	case c.FreqDecay < 0 || c.FreqDecay >= 1:
 		return fmt.Errorf("icache: FreqDecay=%g, want [0,1)", c.FreqDecay)
+	case c.PrefetchWorkers < 0:
+		return fmt.Errorf("icache: PrefetchWorkers=%d, want >= 0", c.PrefetchWorkers)
 	case c.RepackPerSample < 0:
 		return fmt.Errorf("icache: negative RepackPerSample %v", c.RepackPerSample)
 	case c.Tier2Bytes < 0:

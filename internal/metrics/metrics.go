@@ -98,6 +98,51 @@ func (r ResilienceStats) String() string {
 		r.LocalOnlySkips, r.DeferredReleases, r.ReplayedReleases, r.Retries, r.Redials)
 }
 
+// ServingStats counts concurrent-serving-path events on the network
+// server: miss coalescing, prefetch-pool activity, and encode/frame buffer
+// pooling. Like ResilienceStats they are observability counters, not part
+// of the request-conservation invariant.
+type ServingStats struct {
+	CoalescedMisses    int64 // miss fetches that joined an in-flight fetch for the same sample
+	PrefetchQueued     int64 // loader-delivered samples accepted by the prefetch pool
+	PrefetchCompleted  int64 // prefetches that finished (bytes stored or already present)
+	PrefetchDropped    int64 // deliveries discarded because the prefetch queue was full
+	PrefetchFailed     int64 // prefetch fetches that errored (sample stays lazy)
+	PrefetchQueueDepth int64 // gauge: current prefetch backlog
+	PrefetchWorkers    int64 // gauge: configured pool size (the Fig. 15 knob)
+	BufferGets         int64 // pooled-buffer checkouts on the wire path
+	BufferAllocs       int64 // checkouts that had to allocate (pool miss)
+}
+
+// Add accumulates o's counters into s. Gauges (queue depth, worker count)
+// are overwritten with o's values, matching "latest observation wins".
+func (s *ServingStats) Add(o ServingStats) {
+	s.CoalescedMisses += o.CoalescedMisses
+	s.PrefetchQueued += o.PrefetchQueued
+	s.PrefetchCompleted += o.PrefetchCompleted
+	s.PrefetchDropped += o.PrefetchDropped
+	s.PrefetchFailed += o.PrefetchFailed
+	s.PrefetchQueueDepth = o.PrefetchQueueDepth
+	s.PrefetchWorkers = o.PrefetchWorkers
+	s.BufferGets += o.BufferGets
+	s.BufferAllocs += o.BufferAllocs
+}
+
+// BufferReuseRate reports the fraction of pooled-buffer checkouts served
+// without allocating (0 when no checkouts happened).
+func (s ServingStats) BufferReuseRate() float64 {
+	if s.BufferGets == 0 {
+		return 0
+	}
+	return 1 - float64(s.BufferAllocs)/float64(s.BufferGets)
+}
+
+func (s ServingStats) String() string {
+	return fmt.Sprintf("coalesced=%d prefetch{queued=%d done=%d dropped=%d failed=%d depth=%d workers=%d} bufReuse=%.3f",
+		s.CoalescedMisses, s.PrefetchQueued, s.PrefetchCompleted, s.PrefetchDropped,
+		s.PrefetchFailed, s.PrefetchQueueDepth, s.PrefetchWorkers, s.BufferReuseRate())
+}
+
 // EpochStats describes one simulated training epoch of one job.
 type EpochStats struct {
 	Epoch int

@@ -1,0 +1,192 @@
+package rpc
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+// slowSource wraps a ByteSource with a fixed per-fetch service time,
+// standing in for a congested PFS backend. It makes the miss path the
+// bottleneck, which is exactly what the concurrent-serving benchmark needs
+// to expose lock serialization: under a single global server lock, backend
+// fetches cannot overlap, so adding clients adds no throughput.
+type slowSource struct {
+	inner   ByteSource
+	latency time.Duration
+	fetches int64
+}
+
+func (s *slowSource) Spec() dataset.Spec { return s.inner.Spec() }
+
+func (s *slowSource) Fetch(id dataset.SampleID) ([]byte, error) {
+	atomic.AddInt64(&s.fetches, 1)
+	time.Sleep(s.latency)
+	return s.inner.Fetch(id)
+}
+
+// benchServer builds a serving stack sized for a miss-heavy workload: no
+// L-cache (every L-routed request goes to the backend), a deliberately slow
+// byte source, and a small payload footprint so byte copies do not mask
+// lock behavior.
+func benchServer(b *testing.B, backendLatency time.Duration) (*Server, string, *slowSource) {
+	b.Helper()
+	spec := dataset.Spec{Name: "bench", NumSamples: 4096, MeanSampleBytes: 1024, Seed: 7}
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := icache.DefaultConfig(spec.TotalBytes() / 10)
+	cfg.EnableLCache = false // miss-heavy: uncached L-requests hit storage
+	cacheSrv, err := icache.NewServer(back, cfg, sampling.DefaultIIS(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inner, err := storage.NewDataSource(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := &slowSource{inner: inner, latency: backendLatency}
+	srv := NewServer(cacheSrv, src)
+	srv.Logf = nil
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String(), src
+}
+
+// BenchmarkServeConcurrent measures end-to-end serving throughput against
+// client count on a miss-heavy workload (every sample fetch pays a 200µs
+// backend service time). One benchmark iteration is one GetBatch of
+// batchSize samples; the reported samples/sec metric is the headline
+// number. With the serving path properly parallel, throughput should scale
+// with clients until the backend or the NIC saturates; a global server
+// lock pins it flat.
+func BenchmarkServeConcurrent(b *testing.B) {
+	const (
+		batchSize      = 16
+		backendLatency = 200 * time.Microsecond
+	)
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr, _ := benchServer(b, backendLatency)
+			spec := dataset.Spec{Name: "bench", NumSamples: 4096, MeanSampleBytes: 1024, Seed: 7}
+
+			conns := make([]*Client, clients)
+			for i := range conns {
+				c, err := Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+
+			b.ResetTimer()
+			var next int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(i)*1299709 + 1))
+					ids := make([]dataset.SampleID, batchSize)
+					for atomic.AddInt64(&next, 1) <= int64(b.N) {
+						for j := range ids {
+							ids[j] = dataset.SampleID(rng.Intn(spec.NumSamples))
+						}
+						if _, err := conns[i].GetBatch(ids); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkServeHotSet is the coalescing stressor: all clients hammer a
+// tiny id set, so concurrent misses on the same sample are the common
+// case. With singleflight coalescing, K concurrent misses issue one
+// backend read; without it they issue K.
+func BenchmarkServeHotSet(b *testing.B) {
+	const (
+		batchSize      = 16
+		hotSet         = 32
+		backendLatency = 200 * time.Microsecond
+	)
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr, src := benchServer(b, backendLatency)
+
+			conns := make([]*Client, clients)
+			for i := range conns {
+				c, err := Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+
+			b.ResetTimer()
+			var next int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(i)*15485863 + 3))
+					ids := make([]dataset.SampleID, batchSize)
+					for atomic.AddInt64(&next, 1) <= int64(b.N) {
+						for j := range ids {
+							ids[j] = dataset.SampleID(rng.Intn(hotSet))
+						}
+						if _, err := conns[i].GetBatch(ids); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
+				b.ReportMetric(float64(atomic.LoadInt64(&src.fetches))/float64(b.N*batchSize), "fetches/sample")
+			}
+		})
+	}
+}

@@ -8,30 +8,34 @@ import (
 
 // SaveCheckpoint writes the cache's warm state (see icache.Checkpoint).
 func (s *Server) SaveCheckpoint(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
 	return s.cache.Checkpoint(w)
 }
 
 // LoadCheckpoint restores a warm cache into a fresh server. With rehydrate
 // set, the payload store is eagerly refilled from the backend so the first
 // client requests hit immediately; otherwise payloads refill lazily on
-// first access.
+// first access. Meant for boot time, before Serve: the policy restore runs
+// under policyMu, and the rehydration fetches run outside it (no client
+// traffic exists yet to race with).
 func (s *Server) LoadCheckpoint(r io.Reader, rehydrate bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.policyMu.Lock()
 	if err := s.cache.RestoreCheckpoint(r); err != nil {
+		s.policyMu.Unlock()
 		return err
 	}
+	residents := s.cache.Residents(nil)
+	s.policyMu.Unlock()
 	if !rehydrate {
 		return nil
 	}
-	for _, id := range s.cache.Residents(nil) {
+	for _, id := range residents {
 		payload, err := s.source.Fetch(id)
 		if err != nil {
 			return fmt.Errorf("rpc: rehydrate sample %d: %w", id, err)
 		}
-		s.payloads[id] = payload
+		s.payloads.put(id, payload)
 	}
 	return nil
 }

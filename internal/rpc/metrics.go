@@ -3,7 +3,11 @@ package rpc
 import (
 	"encoding/json"
 	"net/http"
+	"sync/atomic"
 	"time"
+
+	"icache/internal/metrics"
+	"icache/internal/wire"
 )
 
 // MetricsSnapshot is the JSON document served by the metrics endpoint: the
@@ -30,18 +34,48 @@ type MetricsSnapshot struct {
 
 	PeerServes int64 `json:"peer_serves"`
 	PeerHits   int64 `json:"peer_hits"`
+
+	// Concurrent-serving-path counters (see metrics.ServingStats).
+	CoalescedMisses    int64   `json:"coalesced_misses"`
+	PrefetchWorkers    int64   `json:"prefetch_workers"`
+	PrefetchQueued     int64   `json:"prefetch_queued"`
+	PrefetchCompleted  int64   `json:"prefetch_completed"`
+	PrefetchDropped    int64   `json:"prefetch_dropped"`
+	PrefetchFailed     int64   `json:"prefetch_failed"`
+	PrefetchQueueDepth int64   `json:"prefetch_queue_depth"`
+	BufferPoolGets     int64   `json:"buffer_pool_gets"`
+	BufferPoolAllocs   int64   `json:"buffer_pool_allocs"`
+	BufferReuseRate    float64 `json:"buffer_reuse_rate"`
 }
 
-// Metrics gathers a consistent snapshot.
-func (s *Server) Metrics() MetricsSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.cache.Stats()
-	served, hits := int64(0), int64(0)
-	if s.dist != nil {
-		served, hits = s.dist.peerServes, s.dist.peerHits
+// ServingStats gathers the concurrent-serving-path counters: coalesced
+// misses, prefetch-pool activity, and wire buffer-pool reuse. (The buffer
+// pool is process-wide — shared with the dkv directory protocol — so its
+// numbers cover every wire user in the process, which is what an operator
+// wants on a combined node.)
+func (s *Server) ServingStats() metrics.ServingStats {
+	out := metrics.ServingStats{
+		CoalescedMisses: atomic.LoadInt64(&s.coalescedMisses),
 	}
-	return MetricsSnapshot{
+	if p := s.prefetch; p != nil {
+		out.PrefetchQueued = atomic.LoadInt64(&p.queued)
+		out.PrefetchCompleted = atomic.LoadInt64(&p.completed)
+		out.PrefetchDropped = atomic.LoadInt64(&p.dropped)
+		out.PrefetchFailed = atomic.LoadInt64(&p.failed)
+		out.PrefetchQueueDepth = int64(p.depth())
+		out.PrefetchWorkers = int64(p.workers)
+	}
+	gets, news := wire.PoolStats()
+	out.BufferGets, out.BufferAllocs = gets, news
+	return out
+}
+
+// Metrics gathers a consistent snapshot of the policy counters (one short
+// policyMu critical section) plus the lock-free serving counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.policyMu.Lock()
+	st := s.cache.Stats()
+	snap := MetricsSnapshot{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Hits:              st.Hits,
 		Misses:            st.Misses,
@@ -52,14 +86,30 @@ func (s *Server) Metrics() MetricsSnapshot {
 		HCacheLen:         s.cache.HCacheLen(),
 		LCacheLen:         s.cache.LCacheLen(),
 		Tier2Len:          s.cache.Tier2Len(),
-		PayloadLen:        len(s.payloads),
 		PackagesLoaded:    s.cache.PackagesLoaded(),
 		LoaderUsefulBytes: s.cache.LoaderUsefulBytes(),
 		LoaderWastedBytes: s.cache.LoaderWastedBytes(),
 		Tier2Hits:         s.cache.Tier2Hits(),
-		PeerServes:        served,
-		PeerHits:          hits,
 	}
+	s.policyMu.Unlock()
+
+	snap.PayloadLen = s.payloads.len()
+	if s.dist != nil {
+		snap.PeerServes = atomic.LoadInt64(&s.dist.peerServes)
+		snap.PeerHits = atomic.LoadInt64(&s.dist.peerHits)
+	}
+	sv := s.ServingStats()
+	snap.CoalescedMisses = sv.CoalescedMisses
+	snap.PrefetchWorkers = sv.PrefetchWorkers
+	snap.PrefetchQueued = sv.PrefetchQueued
+	snap.PrefetchCompleted = sv.PrefetchCompleted
+	snap.PrefetchDropped = sv.PrefetchDropped
+	snap.PrefetchFailed = sv.PrefetchFailed
+	snap.PrefetchQueueDepth = sv.PrefetchQueueDepth
+	snap.BufferPoolGets = sv.BufferGets
+	snap.BufferPoolAllocs = sv.BufferAllocs
+	snap.BufferReuseRate = sv.BufferReuseRate()
+	return snap
 }
 
 // MetricsHandler serves the snapshot as JSON on GET /metrics (any path).

@@ -20,6 +20,28 @@ import (
 // failures are counted, the failing peer connection is discarded (the next
 // request re-dials), and the caller always degrades to a backend read —
 // a sick peer must never stall the training pipeline.
+//
+// # Locking contract
+//
+// Everything in this file runs OUTSIDE the server's policy lock. The old
+// single-mutex server had resolveRemote/claimOwnership "called with s.mu
+// held", dropping and reacquiring it around the network call — a contract
+// the sharded serving path makes obsolete and forbids:
+//
+//   - resolveRemote and claimOwnership perform directory and peer I/O and
+//     must be called with NO server lock held (the miss path calls them
+//     from inside a singleflight execution, which holds only the flight's
+//     own per-key slot).
+//   - distState.mu guards only the peer-connection cache. It is a leaf
+//     lock held across nothing but map access and Dial; it never nests
+//     with policyMu or payload-store shard locks.
+//   - handlePeerGet touches only the payload store (shard-locked reads)
+//     and atomics — peer reads never take policyMu and never mutate this
+//     node's cache policy state, so a peer storm cannot stall local
+//     serving decisions.
+//   - releaseOwnership may be called under policyMu (the eviction
+//     observer fires it); the directory write is pushed to a goroutine so
+//     no network I/O ever happens under the lock.
 
 // opPeerGet fetches a resident sample's payload from a peer cache node.
 const opPeerGet = 6
@@ -132,41 +154,37 @@ func (c *Client) PeerGet(id dataset.SampleID) ([]byte, bool, error) {
 }
 
 // handlePeerGet serves opPeerGet: payload-store lookup only — peer reads
-// must not mutate this node's cache policy state.
-func (s *Server) handlePeerGet(d *reader) []byte {
+// must not mutate this node's cache policy state, and they never take
+// policyMu (shard read lock only).
+func (s *Server) handlePeerGet(d *reader, e *buffer) {
 	id := dataset.SampleID(d.i64())
 	if err := d.err(); err != nil {
-		return encodeErrorResponse(err.Error())
+		encodeErrorResponseInto(e, err.Error())
+		return
 	}
-	s.mu.Lock()
-	payload, ok := s.payloads[id]
+	payload, ok := s.payloads.get(id)
 	if ok && s.dist != nil {
 		atomic.AddInt64(&s.dist.peerServes, 1)
 	}
-	s.mu.Unlock()
-	var e buffer
 	e.u8(statusOK)
 	if !ok {
 		e.u8(0)
-		return e.payload()
+		return
 	}
 	e.u8(1)
 	e.bytes(payload)
-	return e.payload()
 }
 
 // resolveRemote tries to serve a payload from the owning peer's cache.
 // Any failure along the way — directory unreachable, peer dial failure,
 // peer read failure — is counted and degrades to (nil, false), which sends
-// the caller to the backend. Called with s.mu held; it drops the lock
-// across network calls.
+// the caller to the backend. Must be called with no server lock held (see
+// the locking contract at the top of this file).
 func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 	dist := s.dist
 	if dist == nil {
 		return nil, false
 	}
-	s.mu.Unlock()
-	defer s.mu.Lock()
 	owner, found, err := dist.dir.Lookup(id)
 	if err != nil {
 		atomic.AddInt64(&dist.dirFailures, 1)
@@ -197,15 +215,13 @@ func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 // admitted. Reports whether the claim succeeded (false means another node
 // already owns it, so this node must not keep a duplicate copy — and a
 // directory failure conservatively counts as a failed claim, since
-// unregistered ownership would invite duplication). Called with s.mu held;
-// drops the lock across the network call.
+// unregistered ownership would invite duplication). Must be called with no
+// server lock held: it performs a directory round trip.
 func (s *Server) claimOwnership(id dataset.SampleID) bool {
 	dist := s.dist
 	if dist == nil {
 		return true
 	}
-	s.mu.Unlock()
-	defer s.mu.Lock()
 	ok, err := dist.dir.Claim(id, dist.nodeID)
 	if err != nil {
 		atomic.AddInt64(&dist.dirFailures, 1)
@@ -220,8 +236,8 @@ func (s *Server) releaseOwnership(id dataset.SampleID) {
 	if dist == nil {
 		return
 	}
-	// Best effort: eviction hooks run under s.mu; the release is async so
-	// the cache path never blocks on the directory.
+	// Best effort: eviction hooks run under policyMu; the release is async
+	// so the cache path never blocks on the directory.
 	go func() {
 		if _, err := dist.dir.Release(id, dist.nodeID); err != nil {
 			atomic.AddInt64(&dist.dirFailures, 1)

@@ -149,15 +149,11 @@ func TestNoDuplicatePayloadsAcrossNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No sample's payload may be stored on both nodes.
-	f.nodes[0].mu.Lock()
-	aStored := make(map[dataset.SampleID]bool, len(f.nodes[0].payloads))
-	for id := range f.nodes[0].payloads {
+	aStored := make(map[dataset.SampleID]bool)
+	for _, id := range f.nodes[0].payloads.ids() {
 		aStored[id] = true
 	}
-	f.nodes[0].mu.Unlock()
-	f.nodes[1].mu.Lock()
-	defer f.nodes[1].mu.Unlock()
-	for id := range f.nodes[1].payloads {
+	for _, id := range f.nodes[1].payloads.ids() {
 		if aStored[id] {
 			t.Fatalf("sample %d stored on both nodes", id)
 		}

@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"icache/internal/dataset"
+)
+
+// prefetcher is the bounded asynchronous prefetch worker pool of the
+// serving path. The policy engine's background loader decides *which*
+// L-samples enter the cache and *when* (virtual-time package arrivals,
+// §III-C); the prefetcher turns each delivery into real bytes: workers pull
+// delivered sample IDs off a bounded queue and fill the payload store
+// through the same coalesced miss path foreground requests use, so the
+// first client request for a freshly loaded L-sample is served from DRAM
+// instead of paying a backend read inline.
+//
+// The pool size is icache.Config.PrefetchWorkers — the paper's Fig. 15
+// prefetch-worker knob (-prefetch-workers on cmd/icache-server).
+//
+// Concurrency: enqueue is called under policyMu (the loader delivers
+// during FetchBatch/StartEpoch), so it must never block — when the queue
+// is full the ID is dropped and counted; the sample is then fetched lazily
+// on first request, exactly as if prefetching were disabled. Workers run
+// with no locks held and share the server's singleflight group, so a
+// prefetch and a foreground miss for the same sample coalesce into one
+// backend read.
+type prefetcher struct {
+	s       *Server
+	q       chan dataset.SampleID
+	workers int
+
+	wg       sync.WaitGroup
+	done     chan struct{}
+	stopOnce sync.Once
+
+	queued    int64 // IDs accepted onto the queue (atomic)
+	completed int64 // prefetches that finished (bytes stored or already present)
+	dropped   int64 // IDs discarded because the queue was full
+	failed    int64 // prefetch fetches that errored (sample stays lazy)
+}
+
+// newPrefetcher starts a pool of workers. The queue is sized at 64 slots
+// per worker: deep enough to absorb a whole package delivery burst
+// (packages hold tens of samples), shallow enough that a stalled backend
+// cannot pile up unbounded work.
+func newPrefetcher(s *Server, workers int) *prefetcher {
+	p := &prefetcher{
+		s:       s,
+		q:       make(chan dataset.SampleID, workers*64),
+		workers: workers,
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// enqueue offers a delivered sample to the pool. Non-blocking by contract:
+// it is invoked under policyMu.
+func (p *prefetcher) enqueue(id dataset.SampleID) {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	select {
+	case p.q <- id:
+		atomic.AddInt64(&p.queued, 1)
+	default:
+		atomic.AddInt64(&p.dropped, 1)
+	}
+}
+
+func (p *prefetcher) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case id := <-p.q:
+			if _, ok := p.s.payloads.get(id); ok {
+				atomic.AddInt64(&p.completed, 1)
+				continue
+			}
+			if _, err := p.s.resolvePayload(id); err != nil {
+				// Best effort: a failed prefetch is not a serving error —
+				// the sample will be fetched (with retries as configured)
+				// when a client actually asks for it.
+				atomic.AddInt64(&p.failed, 1)
+				continue
+			}
+			atomic.AddInt64(&p.completed, 1)
+		}
+	}
+}
+
+// stop terminates the pool and waits for workers to drain. Queued IDs not
+// yet picked up are abandoned (server shutdown).
+func (p *prefetcher) stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// depth reports the current queue backlog (gauge).
+func (p *prefetcher) depth() int { return len(p.q) }

@@ -95,13 +95,20 @@ type Sample struct {
 
 func encodeGetBatchResponse(samples []Sample) []byte {
 	var e buffer
+	encodeGetBatchResponseInto(&e, samples)
+	return e.payload()
+}
+
+// encodeGetBatchResponseInto appends the response into e (the serving loop
+// passes a pooled buffer here; payload bytes are copied into it, so the
+// buffer owns everything it frames).
+func encodeGetBatchResponseInto(e *buffer, samples []Sample) {
 	e.u8(statusOK)
 	e.u32(uint32(len(samples)))
 	for _, s := range samples {
 		e.i64(int64(s.ID))
 		e.bytes(s.Payload)
 	}
-	return e.payload()
 }
 
 func decodeGetBatchResponse(d *reader) ([]Sample, error) {
@@ -153,6 +160,11 @@ type Stats struct {
 
 func encodeStatsResponse(s Stats) []byte {
 	var e buffer
+	encodeStatsResponseInto(&e, s)
+	return e.payload()
+}
+
+func encodeStatsResponseInto(e *buffer, s Stats) {
 	e.u8(statusOK)
 	e.i64(s.Hits)
 	e.i64(s.Misses)
@@ -160,7 +172,6 @@ func encodeStatsResponse(s Stats) []byte {
 	e.i64(s.HCacheLen)
 	e.i64(s.LCacheLen)
 	e.i64(s.Packages)
-	return e.payload()
 }
 
 func decodeStatsResponse(d *reader) (Stats, error) {
@@ -177,7 +188,11 @@ func decodeStatsResponse(d *reader) (Stats, error) {
 
 func encodeErrorResponse(msg string) []byte {
 	var e buffer
+	encodeErrorResponseInto(&e, msg)
+	return e.payload()
+}
+
+func encodeErrorResponseInto(e *buffer, msg string) {
 	e.u8(statusErr)
 	e.str(msg)
-	return e.payload()
 }

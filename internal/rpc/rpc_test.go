@@ -153,9 +153,7 @@ func TestEvictedPayloadsDropped(t *testing.T) {
 	if _, err := c.GetBatch(ids); err != nil {
 		t.Fatal(err)
 	}
-	srv.mu.Lock()
-	stored := len(srv.payloads)
-	srv.mu.Unlock()
+	stored := srv.payloads.len()
 	if stored > 8 {
 		t.Fatalf("payload store holds %d samples for a ~4-sample cache", stored)
 	}

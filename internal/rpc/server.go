@@ -6,16 +6,21 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/icache"
 	"icache/internal/sampling"
 	"icache/internal/simclock"
+	"icache/internal/singleflight"
+	"icache/internal/wire"
 )
 
 // ByteSource supplies real sample payloads: storage.DataSource (generated
 // on demand) and storage.FileSource (a packed dataset file) both satisfy it.
+// Fetch must be safe for concurrent use: the serving path issues backend
+// reads from many request goroutines and the prefetch pool at once.
 type ByteSource interface {
 	Spec() dataset.Spec
 	Fetch(id dataset.SampleID) ([]byte, error)
@@ -26,13 +31,54 @@ type ByteSource interface {
 // store that mirrors the cache's residency. Policy time is driven by the
 // wall clock, so the background loading thread's pacing carries over to
 // live deployments.
+//
+// # Concurrency model and lock ordering
+//
+// The serving path is built so that no lock is ever held across I/O. Three
+// lock classes exist, and they must be acquired in this order (any prefix
+// is fine, the reverse is forbidden):
+//
+//	policyMu  →  payload-store shard locks (leaf)
+//	connMu (independent leaf: listener/connection bookkeeping only)
+//
+//   - policyMu guards the icache.Server policy engine (FetchBatch,
+//     InstallHList, StartEpoch, Stats, Resident, Drop, checkpoints) and is
+//     only ever held for short, CPU-bound critical sections. It is NEVER
+//     held across ByteSource.Fetch, peer reads, directory calls, or frame
+//     I/O. Cache mutations fire the eviction observer synchronously, so
+//     the observer also runs under policyMu; it may take shard locks
+//     (policyMu → shard is the legal order) and must not block.
+//   - payload-store shard locks (see payloadStore in store.go) are leaves:
+//     taken and released inside single store methods, never held across
+//     any other acquisition or I/O.
+//   - connMu guards the listener and the live-connection set; it nests
+//     with nothing.
+//
+// Slow work — backend fetches and remote peer reads — happens outside all
+// locks, coalesced per sample ID through a singleflight group so K
+// concurrent misses on one sample issue exactly one backend read. The
+// distributed helpers in peer.go (resolveRemote, claimOwnership) are
+// called WITHOUT policyMu held; the old "called with s.mu held, drops it
+// across the network" contract is gone.
 type Server struct {
 	cache  *icache.Server
 	source ByteSource
 	start  time.Time
 
-	mu       sync.Mutex
-	payloads map[dataset.SampleID][]byte
+	// policyMu guards cache (the policy engine). Short critical sections
+	// only; see the concurrency model above.
+	policyMu sync.Mutex
+	// payloads is the sharded byte store mirroring cache residency.
+	payloads *payloadStore
+	// flight coalesces concurrent miss-path fetches per sample ID.
+	flight singleflight.Group
+	// coalescedMisses counts miss-path fetches that joined an in-flight
+	// fetch instead of issuing their own (atomic).
+	coalescedMisses int64
+	// prefetch is the bounded async worker pool that pulls payload bytes
+	// for samples the loader delivered into the L-cache (nil when
+	// disabled).
+	prefetch *prefetcher
 
 	ln      net.Listener
 	conns   sync.WaitGroup
@@ -47,22 +93,32 @@ type Server struct {
 	Logf func(format string, args ...interface{})
 }
 
-// NewServer wires a cache policy engine to a byte source.
+// NewServer wires a cache policy engine to a byte source. If the policy
+// engine's config enables prefetch workers, the server starts a bounded
+// worker pool that asynchronously fills the payload store for samples the
+// background loader delivers into the L-cache (the paper's Fig. 15
+// prefetch-worker knob).
 func NewServer(cacheSrv *icache.Server, source ByteSource) *Server {
 	s := &Server{
 		cache:    cacheSrv,
 		source:   source,
 		start:    time.Now(),
-		payloads: make(map[dataset.SampleID][]byte),
+		payloads: newPayloadStore(),
 		connSet:  make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 		Logf:     log.Printf,
 	}
 	cacheSrv.SetEvictObserver(func(id dataset.SampleID) {
-		// Called with s.mu held (all cache mutations happen under it).
-		delete(s.payloads, id)
+		// Runs under policyMu (all cache mutations happen under it).
+		// policyMu → shard lock is the legal order; releaseOwnership is
+		// async and never blocks here.
+		s.payloads.delete(id)
 		s.releaseOwnership(id)
 	})
+	if n := cacheSrv.PrefetchWorkers(); n > 0 {
+		s.prefetch = newPrefetcher(s, n)
+		cacheSrv.SetLoadObserver(s.prefetch.enqueue)
+	}
 	return s
 }
 
@@ -138,16 +194,24 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.conns.Wait()
+	if s.prefetch != nil {
+		s.prefetch.stop()
+	}
 	if s.dist != nil {
 		s.dist.closePeers()
 	}
 	return err
 }
 
+// serveConn is one connection's request loop. It reuses a single request
+// read buffer across frames (requests are fully decoded before the next
+// read, so aliasing is safe) and encodes every response into a pooled
+// buffer that is returned to the pool right after the frame is written.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	var rbuf []byte // request frame buffer, reused across requests
 	for {
-		req, err := readFrame(conn)
+		req, err := wire.ReadFrameInto(conn, rbuf)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
 				// Normal client disconnects arrive as EOF; anything else is
@@ -156,8 +220,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
+		rbuf = req[:0]
+		wb := wire.GetBuffer()
+		e := buffer{Buffer: *wb}
+		s.dispatchInto(req, &e)
+		wb.B = e.B // appends may have grown past the pooled backing array
+		err = writeFrame(conn, wb.B)
+		wire.PutBuffer(wb)
+		if err != nil {
 			s.logIfUnexpected(err)
 			return
 		}
@@ -173,39 +243,53 @@ func (s *Server) logIfUnexpected(err error) {
 	}
 }
 
-// dispatch decodes one request and produces the response payload. Protocol
-// errors are answered, never fatal.
+// dispatch decodes one request and produces the response payload
+// (allocating form, used by tests and the fuzz harness; the serving loop
+// uses dispatchInto with a pooled buffer).
 func (s *Server) dispatch(req []byte) []byte {
+	var e buffer
+	s.dispatchInto(req, &e)
+	return e.payload()
+}
+
+// dispatchInto decodes one request and appends the response into e.
+// Protocol errors are answered, never fatal. The request buffer may be
+// reused by the caller after dispatchInto returns, so no slice of req is
+// retained (decoders copy what they keep).
+func (s *Server) dispatchInto(req []byte, e *buffer) {
 	d := newReader(req)
 	op := d.u8()
 	switch op {
 	case opGetBatch:
 		ids, err := decodeGetBatchRequest(d)
 		if err != nil {
-			return encodeErrorResponse(err.Error())
+			encodeErrorResponseInto(e, err.Error())
+			return
 		}
 		samples, err := s.getBatch(ids)
 		if err != nil {
-			return encodeErrorResponse(err.Error())
+			encodeErrorResponseInto(e, err.Error())
+			return
 		}
-		return encodeGetBatchResponse(samples)
+		encodeGetBatchResponseInto(e, samples)
 	case opUpdateImportance:
 		items, err := decodeUpdateImportanceRequest(d)
 		if err != nil {
-			return encodeErrorResponse(err.Error())
+			encodeErrorResponseInto(e, err.Error())
+			return
 		}
-		s.mu.Lock()
+		s.policyMu.Lock()
 		s.cache.InstallHList(sampling.NewHList(items))
-		s.mu.Unlock()
-		return []byte{statusOK}
+		s.policyMu.Unlock()
+		e.u8(statusOK)
 	case opBeginEpoch:
 		_ = d.u32() // epoch number: accepted for symmetry/logging
-		s.mu.Lock()
+		s.policyMu.Lock()
 		s.cache.StartEpoch(s.now())
-		s.mu.Unlock()
-		return []byte{statusOK}
+		s.policyMu.Unlock()
+		e.u8(statusOK)
 	case opStats:
-		s.mu.Lock()
+		s.policyMu.Lock()
 		st := s.cache.Stats()
 		out := Stats{
 			Hits:          st.Hits,
@@ -215,20 +299,22 @@ func (s *Server) dispatch(req []byte) []byte {
 			LCacheLen:     int64(s.cache.LCacheLen()),
 			Packages:      s.cache.PackagesLoaded(),
 		}
-		s.mu.Unlock()
-		return encodeStatsResponse(out)
+		s.policyMu.Unlock()
+		encodeStatsResponseInto(e, out)
 	case opPing:
-		return []byte{statusOK}
+		e.u8(statusOK)
 	case opPeerGet:
-		return s.handlePeerGet(d)
+		s.handlePeerGet(d, e)
 	default:
-		return encodeErrorResponse(fmt.Sprintf("rpc: unknown opcode %d", op))
+		encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
 	}
 }
 
 // getBatch runs the cache policy for each requested sample and returns real
 // payloads: cached bytes for residents, freshly fetched bytes otherwise
-// (stored if the policy admitted the sample).
+// (stored if the policy admitted the sample). The policy decision is a
+// short critical section under policyMu; all byte fetching happens outside
+// any lock, coalesced per sample.
 func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
 	spec := s.source.Spec()
 	for _, id := range ids {
@@ -236,39 +322,93 @@ func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
 			return nil, fmt.Errorf("rpc: sample %d out of range for dataset %q", id, spec.Name)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
+	s.policyMu.Lock()
 	_, served := s.cache.FetchBatch(s.now(), ids)
+	s.policyMu.Unlock()
+
 	out := make([]Sample, 0, len(served))
 	for _, id := range served {
-		payload, ok := s.payloads[id]
+		payload, ok := s.payloads.get(id)
 		if !ok {
-			// A peer's cache is cheaper than the backend (§III-E flow:
-			// local cache → directory → remote cache → storage).
-			if remote, served := s.resolveRemote(id); served {
-				payload = remote
-				// Owned elsewhere: this node must not keep a duplicate.
-				if s.cache.Drop(id) {
-					delete(s.payloads, id)
-				}
-			} else {
-				var err error
-				payload, err = s.source.Fetch(id)
-				if err != nil {
-					return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
-				}
-				if s.cache.Resident(id) {
-					if s.claimOwnership(id) {
-						s.payloads[id] = payload
-					} else {
-						// Lost the claim race: another node owns it now.
-						s.cache.Drop(id)
-					}
-				}
+			var err error
+			payload, err = s.resolvePayload(id)
+			if err != nil {
+				return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
 			}
 		}
 		out = append(out, Sample{ID: id, Payload: payload})
 	}
 	return out, nil
 }
+
+// resolvePayload produces the bytes for a sample whose payload is not in
+// the store, without holding any lock. Concurrent misses on the same
+// sample — from request goroutines or the prefetch pool — are coalesced:
+// one goroutine runs the fetch (peer cache first in distributed mode, then
+// the backend), the rest wait and share its result.
+func (s *Server) resolvePayload(id dataset.SampleID) ([]byte, error) {
+	payload, err, shared := s.flight.Do(int64(id), func() ([]byte, error) {
+		// Re-check under the flight lock's happens-before edge: a racing
+		// fetch may have filled the store between our miss and our turn.
+		if p, ok := s.payloads.get(id); ok {
+			return p, nil
+		}
+		// A peer's cache is cheaper than the backend (§III-E flow:
+		// local cache → directory → remote cache → storage).
+		if remote, ok := s.resolveRemote(id); ok {
+			// Owned elsewhere: this node must not keep a duplicate.
+			s.policyMu.Lock()
+			if s.cache.Drop(id) {
+				s.payloads.delete(id)
+			}
+			s.policyMu.Unlock()
+			return remote, nil
+		}
+		p, err := s.source.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		s.admit(id, p)
+		return p, nil
+	})
+	if shared {
+		atomic.AddInt64(&s.coalescedMisses, 1)
+	}
+	return payload, err
+}
+
+// admit stores a freshly fetched payload if the policy engine kept the
+// sample resident and (in distributed mode) the directory claim succeeds.
+// Called without locks; takes policyMu only for the residency checks and
+// the final store insert, never across the directory call.
+func (s *Server) admit(id dataset.SampleID, payload []byte) {
+	s.policyMu.Lock()
+	resident := s.cache.Resident(id)
+	s.policyMu.Unlock()
+	if !resident {
+		return
+	}
+	if !s.claimOwnership(id) {
+		// Lost the claim race: another node owns it now.
+		s.policyMu.Lock()
+		s.cache.Drop(id)
+		s.policyMu.Unlock()
+		return
+	}
+	// Insert under policyMu so an eviction (which deletes store entries
+	// under policyMu) cannot interleave between our residency check and
+	// the store write, which would leak a payload with no resident owner.
+	s.policyMu.Lock()
+	if s.cache.Resident(id) {
+		s.payloads.put(id, payload)
+	} else {
+		// Evicted while we were claiming; hand the claim back.
+		s.releaseOwnership(id)
+	}
+	s.policyMu.Unlock()
+}
+
+// CoalescedMisses reports how many miss-path fetches were served by
+// joining another goroutine's in-flight fetch.
+func (s *Server) CoalescedMisses() int64 { return atomic.LoadInt64(&s.coalescedMisses) }

@@ -1,0 +1,108 @@
+package rpc
+
+import (
+	"sync"
+
+	"icache/internal/dataset"
+)
+
+// payloadShards is the stripe count of the payload store. 64 shards keep
+// the probability of two of the (typically ≤ a few dozen) concurrent
+// request goroutines colliding on one stripe low, while the fixed-size
+// array keeps shard lookup a mask-and-index with no pointer chase. Must be
+// a power of two.
+const payloadShards = 64
+
+// payloadShard is one lock stripe: an RWMutex so concurrent readers (the
+// common case — byte serving of resident samples) never contend with each
+// other, plus the shard's slice of the sample→bytes map.
+type payloadShard struct {
+	mu sync.RWMutex
+	m  map[dataset.SampleID][]byte
+}
+
+// payloadStore is the sharded byte store backing the serving path. It
+// mirrors the policy engine's residency decisions: an entry exists only
+// for samples the icache.Server admitted (and, in distributed mode, whose
+// directory claim this node won).
+//
+// Lock ordering: store shard locks are LEAF locks. The policy lock
+// (Server.policyMu) may be held while taking a shard lock — the eviction
+// observer and the post-claim admit path do exactly that — but a shard
+// lock must NEVER be held while acquiring policyMu, performing network
+// I/O, or calling into the policy engine. Every method here takes and
+// releases one shard lock internally, so callers cannot get this wrong
+// through the store API.
+type payloadStore struct {
+	shards [payloadShards]payloadShard
+}
+
+func newPayloadStore() *payloadStore {
+	p := &payloadStore{}
+	for i := range p.shards {
+		p.shards[i].m = make(map[dataset.SampleID][]byte)
+	}
+	return p
+}
+
+// shard maps a sample ID onto its stripe. Sample IDs are dense small
+// integers, and adjacent IDs are frequently requested together (batches),
+// so a Fibonacci hash spreads consecutive IDs across stripes instead of
+// clustering them.
+func (p *payloadStore) shard(id dataset.SampleID) *payloadShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &p.shards[h>>(64-6)] // top 6 bits: payloadShards == 64
+}
+
+// get returns the stored bytes for id, if present. Callers must treat the
+// returned slice as immutable.
+func (p *payloadStore) get(id dataset.SampleID) ([]byte, bool) {
+	sh := p.shard(id)
+	sh.mu.RLock()
+	b, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return b, ok
+}
+
+// put stores bytes for id.
+func (p *payloadStore) put(id dataset.SampleID, b []byte) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = b
+	sh.mu.Unlock()
+}
+
+// delete removes id's bytes (eviction, lost ownership).
+func (p *payloadStore) delete(id dataset.SampleID) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// len reports the total number of stored payloads.
+func (p *payloadStore) len() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ids snapshots the stored sample IDs (tests and diagnostics; not a
+// consistent point-in-time snapshot across shards).
+func (p *payloadStore) ids() []dataset.SampleID {
+	var out []dataset.SampleID
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

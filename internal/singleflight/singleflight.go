@@ -1,0 +1,63 @@
+// Package singleflight provides duplicate call suppression for the cache
+// miss path: when K goroutines concurrently need the same expensive fetch
+// (a backend read or a remote peer read of one sample), exactly one
+// executes it and the other K-1 wait for, and share, its result.
+//
+// This is the standard-library-only equivalent of
+// golang.org/x/sync/singleflight, specialized to the needs of the serving
+// path: int64-keyed (sample IDs), byte-slice results, and a shared-counter
+// hook so coalesced calls are observable in metrics. Results are delivered
+// to every waiter by reference — callers must treat the returned bytes as
+// immutable.
+package singleflight
+
+import "sync"
+
+// call is one in-flight (or completed) fetch.
+type call struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Group coalesces concurrent calls with the same key. The zero value is
+// ready to use.
+type Group struct {
+	mu sync.Mutex
+	m  map[int64]*call
+}
+
+// Do executes fn, making sure only one execution per key is in flight at a
+// time. Concurrent duplicates wait for the original and receive the same
+// result; shared reports whether the result came from another caller's
+// execution (true for the waiters, false for the executor).
+func (g *Group) Do(key int64, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[int64]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
+
+// Inflight reports the number of keys currently executing (diagnostics).
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

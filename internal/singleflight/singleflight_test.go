@@ -1,0 +1,117 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoBasic(t *testing.T) {
+	var g Group
+	v, err, shared := g.Do(1, func() ([]byte, error) { return []byte("x"), nil })
+	if err != nil || string(v) != "x" || shared {
+		t.Fatalf("got %q, %v, shared=%v", v, err, shared)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight after completion: %d", g.Inflight())
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	_, err, _ := g.Do(2, func() ([]byte, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestDoCoalescesConcurrentCalls(t *testing.T) {
+	var g Group
+	var execs int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	vals := make([][]byte, waiters)
+	sharedCount := int64(0)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do(7, func() ([]byte, error) {
+				atomic.AddInt64(&execs, 1)
+				close(started)
+				<-release
+				return []byte("payload"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				atomic.AddInt64(&sharedCount, 1)
+			}
+			vals[i] = v
+		}(i)
+	}
+	<-started
+	// Give the other goroutines a moment to pile onto the in-flight call.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := atomic.LoadInt64(&execs); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	// At least the late arrivals must have been marked shared (timing may
+	// let a few run after completion and re-execute is impossible here
+	// since release blocks until all are queued — all but one share).
+	if got := atomic.LoadInt64(&sharedCount); got != waiters-1 {
+		t.Fatalf("shared=%d, want %d", got, waiters-1)
+	}
+	for i, v := range vals {
+		if string(v) != "payload" {
+			t.Fatalf("waiter %d got %q", i, v)
+		}
+	}
+}
+
+func TestDoDistinctKeysRunIndependently(t *testing.T) {
+	var g Group
+	var execs int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, _ := g.Do(int64(i), func() ([]byte, error) {
+				atomic.AddInt64(&execs, 1)
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt64(&execs); got != 8 {
+		t.Fatalf("fn executed %d times, want 8", got)
+	}
+}
+
+func TestSequentialCallsReExecute(t *testing.T) {
+	var g Group
+	var execs int64
+	for i := 0; i < 3; i++ {
+		g.Do(9, func() ([]byte, error) {
+			atomic.AddInt64(&execs, 1)
+			return nil, nil
+		})
+	}
+	if execs != 3 {
+		t.Fatalf("sequential calls coalesced: execs=%d", execs)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // MaxFrame bounds a single frame; a batch of 256 ImageNet samples is
@@ -30,8 +32,24 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame receives one length-prefixed payload.
+// ReadFrame receives one length-prefixed payload into a fresh allocation.
+// Hot paths that can prove the payload is not retained past the next read
+// should prefer ReadFrameInto, which reuses a caller-owned buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto receives one length-prefixed payload, reusing buf's backing
+// array when it has sufficient capacity (allocating — and returning — a
+// larger one otherwise). The returned slice aliases buf whenever it fits,
+// so the caller must not retain references into a previous frame across
+// calls: decode-and-copy before the next ReadFrameInto. Passing nil buf is
+// equivalent to ReadFrame.
+//
+// The per-request/response serving path uses this (one persistent buffer
+// per connection) to eliminate the two large allocations — request read
+// and response read — that otherwise dominate the RPC allocation profile.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -40,11 +58,54 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// Encode-buffer pool. Response/request encoding on the serving path churns
+// through short-lived append buffers; recycling them through a sync.Pool
+// turns the per-request cost into a pointer swap once the pool is warm.
+// The gets/news counters feed the pooled-buffer reuse-rate metric: reuse
+// rate = 1 - news/gets (pool misses allocate a fresh buffer via New).
+var (
+	bufPool = sync.Pool{New: func() interface{} {
+		atomic.AddInt64(&poolNews, 1)
+		return &Buffer{B: make([]byte, 0, 4096)}
+	}}
+	poolGets int64
+	poolNews int64
+)
+
+// GetBuffer returns an empty encode buffer from the pool.
+func GetBuffer() *Buffer {
+	atomic.AddInt64(&poolGets, 1)
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer recycles an encode buffer. The caller must not touch the
+// buffer (or any slice of its backing array) afterwards. Oversized buffers
+// are dropped so one jumbo response does not pin megabytes in the pool.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > 1<<20 {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// PoolStats reports (gets, news): total pooled-buffer checkouts and how
+// many of them had to allocate. gets-news is the number of reuses.
+func PoolStats() (gets, news int64) {
+	return atomic.LoadInt64(&poolGets), atomic.LoadInt64(&poolNews)
 }
 
 // Buffer is a simple append-based encoder.
