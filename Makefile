@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving experiments experiments-quick fuzz fuzz-short clean
 
-all: build vet test test-race chaos
+all: build vet test test-race chaos fuzz-short
 
 build:
 	$(GO) build ./...
@@ -52,11 +52,21 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/icache-bench -exp all -quick
 
-# Short fuzz passes over the wire-facing decoders.
+# Short fuzz passes over the wire-facing decoders (with exploration).
 fuzz:
 	$(GO) test -fuzz FuzzServerDispatch -fuzztime 30s ./internal/rpc/
+	$(GO) test -fuzz FuzzDirDispatch -fuzztime 30s ./internal/dkv/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/wire/
+
+# Seed-corpus-only fuzz pass: runs every fuzz target's checked-in seeds as
+# plain tests (no exploration), fast enough to gate `make all` on. Covers
+# the cache-service dispatcher, the directory dispatcher (including the
+# membership opcodes), and the wire framing.
+fuzz-short:
+	$(GO) test -run 'FuzzServerDispatch' -count=1 ./internal/rpc/
+	$(GO) test -run 'FuzzDirDispatch' -count=1 ./internal/dkv/
+	$(GO) test -run 'FuzzReadFrame|FuzzReader' -count=1 ./internal/wire/
 
 clean:
 	$(GO) clean -testcache

@@ -21,9 +21,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7821", "listen address")
+	leaseTTL := flag.Duration("lease-ttl", dkv.DefaultLeaseTTL, "default membership lease TTL granted to nodes that register without one")
+	suspect := flag.Duration("suspect-window", dkv.DefaultSuspectWindow, "how long past lease expiry a node stays routable before it is declared dead")
 	flag.Parse()
 
-	srv := dkv.NewDirServer(dkv.NewDirectory())
+	dir := dkv.NewDirectory()
+	dir.SetMembershipParams(*leaseTTL, *suspect)
+	srv := dkv.NewDirServer(dir)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

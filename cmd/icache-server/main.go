@@ -81,6 +81,9 @@ func main() {
 		nodeID    = flag.Int("node-id", -1, "distributed mode: this node's ID (requires -dir)")
 		dirAddr   = flag.String("dir", "", "distributed mode: directory service address (see icache-dkv)")
 		peers     = flag.String("peers", "", "distributed mode: comma-separated id=addr peer list, e.g. 1=host:7820,2=host2:7820")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "distributed mode: membership lease duration in the directory")
+		beatEvery = flag.Duration("heartbeat-interval", 0, "distributed mode: lease renewal period (default lease-ttl/4)")
+		scrubEvry = flag.Duration("scrub-interval", 0, "distributed mode: anti-entropy scrub period (default lease-ttl/2)")
 	)
 	flag.Parse()
 
@@ -152,15 +155,29 @@ func main() {
 		}
 		srv.EnableDistributed(dkv.NodeID(*nodeID), dirClient, peerMap)
 		log.Printf("icache-server: distributed node %d, directory %s, %d peers", *nodeID, *dirAddr, len(peerMap))
+		// Join under a fresh lease; a warm restart replays ownership claims
+		// for every checkpoint-restored resident (claims a survivor won in
+		// the meantime are denied and the local copy is dropped).
+		if err := srv.StartMembership(rpc.MembershipConfig{
+			LeaseTTL:          *leaseTTL,
+			HeartbeatInterval: *beatEvery,
+			ScrubInterval:     *scrubEvry,
+		}); err != nil {
+			log.Fatalf("icache-server: membership: %v", err)
+		}
+		log.Printf("icache-server: lease ttl %s, heartbeats + anti-entropy scrubbing started", *leaseTTL)
 	}
 	// The metrics endpoint gets a real http.Server so shutdown is graceful:
 	// in-flight scrapes finish (bounded by a timeout) instead of being cut
 	// mid-response when the process exits.
 	var metricsSrv *http.Server
 	if *metricsAt != "" {
-		metricsSrv = &http.Server{Addr: *metricsAt, Handler: srv.MetricsHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/healthz", srv.HealthHandler())
+		mux.Handle("/", srv.MetricsHandler()) // any other path serves metrics
+		metricsSrv = &http.Server{Addr: *metricsAt, Handler: mux}
 		go func() {
-			log.Printf("icache-server: metrics on http://%s/metrics", *metricsAt)
+			log.Printf("icache-server: metrics on http://%s/metrics, health on /healthz", *metricsAt)
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("icache-server: metrics: %v", err)
 			}

@@ -7,45 +7,87 @@ package dkv
 
 import (
 	"sync"
+	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/metrics"
+	"icache/internal/simclock"
 )
 
 // NodeID identifies a cache node in a distributed deployment.
 type NodeID int
 
-// Directory maps sample IDs to owning nodes. It is safe for concurrent use:
-// in a real deployment this is a shared service (the paper suggests a
+// Directory maps sample IDs to owning nodes and tracks node liveness
+// through TTL leases (see membership.go). It is safe for concurrent use: in
+// a real deployment this is a shared service (the paper suggests a
 // distributed KV store); here it is an in-process equivalent with the same
 // first-claim-wins semantics.
 type Directory struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex
 	owner  map[dataset.SampleID]NodeID
 	claims int64
 	denied int64
+
+	// Membership state (see membership.go). The clock defaults to wall time
+	// since construction; simulations install a virtual clock.
+	nodes         map[NodeID]*lease
+	clock         func() simclock.Time
+	start         time.Time
+	defaultTTL    time.Duration
+	suspectWindow time.Duration
+	ms            metrics.MembershipStats
 }
 
-// NewDirectory returns an empty directory.
+// NewDirectory returns an empty directory with default membership timing.
 func NewDirectory() *Directory {
-	return &Directory{owner: make(map[dataset.SampleID]NodeID)}
+	return &Directory{
+		owner:         make(map[dataset.SampleID]NodeID),
+		nodes:         make(map[NodeID]*lease),
+		start:         time.Now(),
+		defaultTTL:    DefaultLeaseTTL,
+		suspectWindow: DefaultSuspectWindow,
+	}
 }
 
-// Lookup reports which node owns id, if any.
+// Lookup reports which node owns id, if any. It is liveness-aware: an entry
+// owned by a Dead node is never routed to — the entry is purged on sight
+// (counted in MembershipStats.Purged) and the lookup reports "unowned", so
+// the caller goes to the backend and may claim the sample fresh.
 func (d *Directory) Lookup(id dataset.SampleID) (NodeID, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n, ok := d.owner[id]
-	return n, ok
+	if !ok {
+		return 0, false
+	}
+	now := d.now()
+	d.syncStates(now)
+	if d.stateOf(n, now) == NodeDead {
+		delete(d.owner, id)
+		d.ms.Purged++
+		return 0, false
+	}
+	return n, true
 }
 
 // Claim registers node as the owner of id. It reports whether the claim
-// succeeded; a claim on an item owned by another node fails (no
-// duplication), while re-claiming one's own item succeeds idempotently.
+// succeeded; a claim on an item owned by another Live (or Suspect) node
+// fails (no duplication), re-claiming one's own item succeeds idempotently,
+// and an item owned by a Dead node is reclaimable: the first claimer wins
+// the transfer (counted in MembershipStats.Reclaims).
 func (d *Directory) Claim(id dataset.SampleID, node NodeID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if cur, ok := d.owner[id]; ok {
 		if cur == node {
+			return true
+		}
+		now := d.now()
+		d.syncStates(now)
+		if d.stateOf(cur, now) == NodeDead {
+			d.owner[id] = node
+			d.ms.Reclaims++
+			d.claims++
 			return true
 		}
 		d.denied++
@@ -70,16 +112,16 @@ func (d *Directory) Release(id dataset.SampleID, node NodeID) bool {
 
 // Len reports the number of owned items.
 func (d *Directory) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return len(d.owner)
 }
 
 // Stats reports cumulative successful claims and denied (conflicting)
 // claims.
 func (d *Directory) Stats() (claims, denied int64) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.claims, d.denied
 }
 
@@ -87,12 +129,26 @@ func (d *Directory) Stats() (claims, denied int64) {
 // Directory (via Local), the network DirClient, and fault-injecting
 // wrappers (faults.Dir). Cache nodes program against this interface so a
 // deployment can swap the directory transport — and tests can make it
-// unreliable — without touching cache code.
+// unreliable — without touching cache code. It spans both the data path
+// (Lookup/Claim/Release/Len) and the node-lifecycle path
+// (Register/Heartbeat/ListNodes/OwnedBy/PurgeDead).
 type Service interface {
 	Lookup(id dataset.SampleID) (NodeID, bool, error)
 	Claim(id dataset.SampleID, node NodeID) (bool, error)
 	Release(id dataset.SampleID, node NodeID) (bool, error)
 	Len() (int, error)
+
+	// Register grants node a lease (ttl <= 0 selects the directory default).
+	Register(node NodeID, ttl time.Duration) (NodeInfo, error)
+	// Heartbeat renews node's lease; renewed == false means the lease
+	// already lapsed and the node must Register again and reconcile.
+	Heartbeat(node NodeID) (renewed bool, err error)
+	// ListNodes reports every registered node's membership state.
+	ListNodes() ([]NodeInfo, error)
+	// OwnedBy reports up to max of node's directory entries (sorted).
+	OwnedBy(node NodeID, max int) ([]dataset.SampleID, error)
+	// PurgeDead garbage-collects up to max Dead-owned entries.
+	PurgeDead(max int) (int, error)
 }
 
 // Local adapts an in-process Directory to the fallible Service contract
@@ -117,3 +173,24 @@ func (l Local) Release(id dataset.SampleID, node NodeID) (bool, error) {
 
 // Len reports the number of owned items.
 func (l Local) Len() (int, error) { return l.Dir.Len(), nil }
+
+// Register grants node a lease.
+func (l Local) Register(node NodeID, ttl time.Duration) (NodeInfo, error) {
+	return l.Dir.Register(node, ttl), nil
+}
+
+// Heartbeat renews node's lease.
+func (l Local) Heartbeat(node NodeID) (bool, error) {
+	return l.Dir.HeartbeatNode(node), nil
+}
+
+// ListNodes reports every registered node's membership state.
+func (l Local) ListNodes() ([]NodeInfo, error) { return l.Dir.ListNodes(), nil }
+
+// OwnedBy reports up to max of node's directory entries.
+func (l Local) OwnedBy(node NodeID, max int) ([]dataset.SampleID, error) {
+	return l.Dir.OwnedBy(node, max), nil
+}
+
+// PurgeDead garbage-collects up to max Dead-owned entries.
+func (l Local) PurgeDead(max int) (int, error) { return l.Dir.PurgeDead(max), nil }

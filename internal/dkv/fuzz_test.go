@@ -1,0 +1,53 @@
+package dkv
+
+// FuzzDirDispatch throws arbitrary byte strings at the directory service's
+// request dispatcher — including the membership opcodes added for node
+// lifecycle — asserting the malformed-client contract: every request gets a
+// status-framed response and nothing panics. A broken cache node (or an
+// attacker on the directory port) must not be able to take the shared
+// directory down.
+
+import (
+	"testing"
+
+	"icache/internal/wire"
+)
+
+func FuzzDirDispatch(f *testing.F) {
+	// Seeds: every opcode well-formed, truncated operand forms, and garbage.
+	f.Add([]byte{})
+	f.Add([]byte{opLookup})
+	f.Add([]byte{opLookup, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{opClaim, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{opClaim, 0, 0, 0, 0})
+	f.Add([]byte{opRelease, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{opLen})
+	f.Add([]byte{opRegister, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 2, 84, 11, 228, 0})
+	f.Add([]byte{opRegister, 0, 0, 0, 0, 0, 0, 0, 2, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add([]byte{opRegister, 1})
+	f.Add([]byte{opHeartbeat, 0, 0, 0, 0, 0, 0, 0, 2})
+	f.Add([]byte{opHeartbeat})
+	f.Add([]byte{opListNodes})
+	f.Add([]byte{opOwnedBy, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 16})
+	f.Add([]byte{opOwnedBy, 0, 0, 0, 0, 0, 0, 0, 2})
+	f.Add([]byte{opPurgeDead, 0, 0, 0, 0})
+	f.Add([]byte{opPurgeDead, 255, 255, 255, 255})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, req []byte) {
+		// Fresh state per input: a fuzzed Register must not grow one shared
+		// lease map without bound across the whole run.
+		srv := NewDirServer(NewDirectory())
+		srv.dir.Register(2, 0)
+		srv.dir.Claim(7, 2)
+
+		var e wire.Buffer
+		srv.dispatchInto(req, &e)
+		if len(e.B) == 0 {
+			t.Fatal("empty response")
+		}
+		if e.B[0] != statusOK && e.B[0] != statusErr {
+			t.Fatalf("response status %d", e.B[0])
+		}
+	})
+}

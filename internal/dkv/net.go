@@ -21,10 +21,15 @@ import (
 
 // Directory-service opcodes.
 const (
-	opLookup  = 1
-	opClaim   = 2
-	opRelease = 3
-	opLen     = 4
+	opLookup    = 1
+	opClaim     = 2
+	opRelease   = 3
+	opLen       = 4
+	opRegister  = 5
+	opHeartbeat = 6
+	opListNodes = 7
+	opOwnedBy   = 8
+	opPurgeDead = 9
 )
 
 // Response status codes.
@@ -198,6 +203,59 @@ func (s *DirServer) dispatchInto(req []byte, e *wire.Buffer) {
 	case opLen:
 		e.U8(statusOK)
 		e.I64(int64(s.dir.Len()))
+	case opRegister:
+		node := NodeID(d.I64())
+		ttl := time.Duration(d.I64())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		info := s.dir.Register(node, ttl)
+		e.U8(statusOK)
+		e.U8(byte(info.State))
+		e.I64(int64(info.ExpiresIn))
+	case opHeartbeat:
+		node := NodeID(d.I64())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		e.U8(statusOK)
+		if s.dir.HeartbeatNode(node) {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	case opListNodes:
+		nodes := s.dir.ListNodes()
+		e.U8(statusOK)
+		e.U32(uint32(len(nodes)))
+		for _, n := range nodes {
+			e.I64(int64(n.ID))
+			e.U8(byte(n.State))
+			e.I64(int64(n.ExpiresIn))
+		}
+	case opOwnedBy:
+		node := NodeID(d.I64())
+		max := int(d.U32())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		ids := s.dir.OwnedBy(node, max)
+		e.U8(statusOK)
+		e.U32(uint32(len(ids)))
+		for _, id := range ids {
+			e.I64(int64(id))
+		}
+	case opPurgeDead:
+		max := int(d.U32())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		e.U8(statusOK)
+		e.I64(int64(s.dir.PurgeDead(max)))
 	default:
 		dirError(e, fmt.Errorf("dkv: unknown opcode %d", op))
 	}
@@ -374,6 +432,98 @@ func (c *DirClient) Release(id dataset.SampleID, node NodeID) (bool, error) {
 func (c *DirClient) Len() (int, error) {
 	var e wire.Buffer
 	e.U8(opLen)
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return 0, err
+	}
+	return int(d.I64()), d.Err
+}
+
+// Register grants (or re-grants) node a lease of the given TTL (<= 0
+// selects the directory default). Registration is idempotent — re-running
+// it just re-stamps the lease — so blind retry under the client's backoff
+// policy is safe.
+func (c *DirClient) Register(node NodeID, ttl time.Duration) (NodeInfo, error) {
+	var e wire.Buffer
+	e.U8(opRegister)
+	e.I64(int64(node))
+	e.I64(int64(ttl))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	info := NodeInfo{ID: node, State: NodeState(d.U8()), ExpiresIn: time.Duration(d.I64())}
+	return info, d.Err
+}
+
+// Heartbeat renews node's lease; renewed == false means the lease lapsed
+// and the node must Register again and reconcile its ownership.
+func (c *DirClient) Heartbeat(node NodeID) (bool, error) {
+	var e wire.Buffer
+	e.U8(opHeartbeat)
+	e.I64(int64(node))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return false, err
+	}
+	return d.U8() == 1, d.Err
+}
+
+// ListNodes reports every registered node's membership state.
+func (c *DirClient) ListNodes() ([]NodeInfo, error) {
+	var e wire.Buffer
+	e.U8(opListNodes)
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.U32())
+	out := make([]NodeInfo, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, NodeInfo{
+			ID:        NodeID(d.I64()),
+			State:     NodeState(d.U8()),
+			ExpiresIn: time.Duration(d.I64()),
+		})
+		if d.Err != nil {
+			return nil, d.Err
+		}
+	}
+	return out, d.Err
+}
+
+// OwnedBy reports up to max of node's directory entries (sorted).
+func (c *DirClient) OwnedBy(node NodeID, max int) ([]dataset.SampleID, error) {
+	if max < 0 {
+		max = 0 // 0 means "all" on the server
+	}
+	var e wire.Buffer
+	e.U8(opOwnedBy)
+	e.I64(int64(node))
+	e.U32(uint32(max))
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.U32())
+	out := make([]dataset.SampleID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, dataset.SampleID(d.I64()))
+		if d.Err != nil {
+			return nil, d.Err
+		}
+	}
+	return out, d.Err
+}
+
+// PurgeDead garbage-collects up to max Dead-owned entries server-side.
+func (c *DirClient) PurgeDead(max int) (int, error) {
+	if max < 0 {
+		max = 0 // 0 means "all" on the server
+	}
+	var e wire.Buffer
+	e.U8(opPurgeDead)
+	e.U32(uint32(max))
 	d, err := c.roundTrip(e.B)
 	if err != nil {
 		return 0, err

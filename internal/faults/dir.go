@@ -74,3 +74,45 @@ func (d *Dir) Release(id dataset.SampleID, node dkv.NodeID) (bool, error) {
 
 // Len reports the number of owned items (never faulted).
 func (d *Dir) Len() (int, error) { return d.inner.Len() }
+
+// Register grants node a lease (faulted under OpDirRegister: a partitioned
+// node cannot re-register until the partition heals).
+func (d *Dir) Register(node dkv.NodeID, ttl time.Duration) (dkv.NodeInfo, error) {
+	if err := d.gate(OpDirRegister); err != nil {
+		return dkv.NodeInfo{}, err
+	}
+	return d.inner.Register(node, ttl)
+}
+
+// Heartbeat renews node's lease (faulted under OpDirHeartbeat: dropping
+// heartbeats is how a chaos schedule expires a healthy node's lease).
+func (d *Dir) Heartbeat(node dkv.NodeID) (bool, error) {
+	if err := d.gate(OpDirHeartbeat); err != nil {
+		return false, err
+	}
+	return d.inner.Heartbeat(node)
+}
+
+// ListNodes reports membership state (faulted under OpDirScan).
+func (d *Dir) ListNodes() ([]dkv.NodeInfo, error) {
+	if err := d.gate(OpDirScan); err != nil {
+		return nil, err
+	}
+	return d.inner.ListNodes()
+}
+
+// OwnedBy reports node's directory entries (faulted under OpDirScan).
+func (d *Dir) OwnedBy(node dkv.NodeID, max int) ([]dataset.SampleID, error) {
+	if err := d.gate(OpDirScan); err != nil {
+		return nil, err
+	}
+	return d.inner.OwnedBy(node, max)
+}
+
+// PurgeDead garbage-collects Dead-owned entries (faulted under OpDirScan).
+func (d *Dir) PurgeDead(max int) (int, error) {
+	if err := d.gate(OpDirScan); err != nil {
+		return 0, err
+	}
+	return d.inner.PurgeDead(max)
+}

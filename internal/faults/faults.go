@@ -32,11 +32,14 @@ const (
 	OpConnRead    = "conn.read"    // faults.Conn read path
 	OpConnWrite   = "conn.write"   // faults.Conn write path
 	OpSourceFetch = "source.fetch" // storage.DataSource / faults.Source
-	OpDirLookup   = "dir.lookup"   // directory lookups (dkv or simulated)
-	OpDirClaim    = "dir.claim"    // directory claims
-	OpDirRelease  = "dir.release"  // directory releases
-	OpPeerRead    = "peer.read"    // remote-cache reads between nodes
-	OpBackendRead = "backend.read" // simulated backend sample/package reads
+	OpDirLookup    = "dir.lookup"    // directory lookups (dkv or simulated)
+	OpDirClaim     = "dir.claim"     // directory claims
+	OpDirRelease   = "dir.release"   // directory releases
+	OpDirRegister  = "dir.register"  // membership lease registrations
+	OpDirHeartbeat = "dir.heartbeat" // membership lease renewals
+	OpDirScan      = "dir.scan"      // membership scans (ListNodes/OwnedBy/PurgeDead)
+	OpPeerRead     = "peer.read"     // remote-cache reads between nodes
+	OpBackendRead  = "backend.read"  // simulated backend sample/package reads
 )
 
 // ErrInjected is the default error carried by error/drop decisions that do

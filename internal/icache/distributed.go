@@ -32,6 +32,34 @@ type ClusterConfig struct {
 	// local-only mode after a directory failure before re-probing. Zero
 	// selects the default (250ms); it must not be negative.
 	DirReprobeInterval time.Duration
+
+	// LeaseTTL is each node's membership lease duration in the directory.
+	// Zero selects dkv.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is how often (virtual time) each node renews its
+	// lease. Zero selects LeaseTTL/4, so a healthy node renews several
+	// times per TTL.
+	HeartbeatInterval time.Duration
+	// SuspectWindow is how long past lease expiry a node stays routable
+	// (Suspect) before it is declared Dead and its directory entries become
+	// reclaimable. Zero selects LeaseTTL.
+	SuspectWindow time.Duration
+	// ScrubInterval is how often (virtual time) each node runs one bounded
+	// anti-entropy sweep reconciling the directory against its cache
+	// contents. Zero selects LeaseTTL/2.
+	ScrubInterval time.Duration
+	// ScrubBatch bounds the work of one scrub sweep (directory entries
+	// examined per direction). Zero selects 256.
+	ScrubBatch int
+	// DeferredReleaseCap bounds the deferred-release queue (ownership
+	// releases waiting for the directory to heal). At the cap further
+	// releases are dropped and counted (ResilienceStats.DroppedReleases);
+	// the scrubber repairs the resulting stale entries later. Zero selects
+	// 4096.
+	DeferredReleaseCap int
+	// DisableMembership turns lease registration, heartbeats and scrubbing
+	// off entirely (legacy static membership).
+	DisableMembership bool
 }
 
 // DefaultClusterConfig mirrors the paper's cloud setup: per-node cache of
@@ -60,6 +88,18 @@ func (c ClusterConfig) Validate() error {
 		return fmt.Errorf("icache: PeerBandwidth=%g, want > 0", c.PeerBandwidth)
 	case c.DirReprobeInterval < 0:
 		return fmt.Errorf("icache: negative DirReprobeInterval")
+	case c.LeaseTTL < 0:
+		return fmt.Errorf("icache: negative LeaseTTL")
+	case c.HeartbeatInterval < 0:
+		return fmt.Errorf("icache: negative HeartbeatInterval")
+	case c.SuspectWindow < 0:
+		return fmt.Errorf("icache: negative SuspectWindow")
+	case c.ScrubInterval < 0:
+		return fmt.Errorf("icache: negative ScrubInterval")
+	case c.ScrubBatch < 0:
+		return fmt.Errorf("icache: negative ScrubBatch")
+	case c.DeferredReleaseCap < 0:
+		return fmt.Errorf("icache: negative DeferredReleaseCap")
 	}
 	return nil
 }
@@ -80,6 +120,16 @@ type clusterNode struct {
 	// local-only until dirDownUntil, then re-probes.
 	dirDown      bool
 	dirDownUntil simclock.Time
+
+	// Lifecycle state: alive is false between KillNode and RestartNode;
+	// nextHeartbeat/nextScrub schedule the node's background membership
+	// work on the virtual clock; scrubMark is the anti-entropy watermark
+	// into the node's sorted resident set, so bounded sweeps eventually
+	// cover everything.
+	alive         bool
+	nextHeartbeat simclock.Time
+	nextScrub     simclock.Time
+	scrubMark     int
 }
 
 // Cluster is the distributed iCache: per-node cache servers sharing a
@@ -119,7 +169,13 @@ type Cluster struct {
 
 	stats      metrics.CacheStats
 	res        metrics.ResilienceStats
+	mem        metrics.MembershipStats
 	remoteHits int64
+
+	// vnow is the cluster's high-water virtual time; the directory's lease
+	// clock reads it, so lease expiry is deterministic for a given drive
+	// sequence.
+	vnow simclock.Time
 }
 
 // NewCluster builds a distributed iCache over a shared backend.
@@ -137,6 +193,24 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 	}
 	if cfg.DirReprobeInterval == 0 {
 		cfg.DirReprobeInterval = 250 * time.Millisecond
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = dkv.DefaultLeaseTTL
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = cfg.LeaseTTL / 4
+	}
+	if cfg.SuspectWindow == 0 {
+		cfg.SuspectWindow = cfg.LeaseTTL
+	}
+	if cfg.ScrubInterval == 0 {
+		cfg.ScrubInterval = cfg.LeaseTTL / 2
+	}
+	if cfg.ScrubBatch == 0 {
+		cfg.ScrubBatch = 256
+	}
+	if cfg.DeferredReleaseCap == 0 {
+		cfg.DeferredReleaseCap = 4096
 	}
 	rawDir := dkv.NewDirectory()
 	cl := &Cluster{
@@ -164,10 +238,13 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 			}
 		}
 		node := &clusterNode{
-			h:   newHCache(hBytes),
-			l:   newLCache(lBytes),
-			ld:  newLoader(backend, pkg, cache.RepackPerSample, rand.New(rand.NewSource(seed+int64(n)*7+1))),
-			rng: rand.New(rand.NewSource(seed + int64(n)*7)),
+			h:             newHCache(hBytes),
+			l:             newLCache(lBytes),
+			ld:            newLoader(backend, pkg, cache.RepackPerSample, rand.New(rand.NewSource(seed+int64(n)*7+1))),
+			rng:           rand.New(rand.NewSource(seed + int64(n)*7)),
+			alive:         true,
+			nextHeartbeat: simclock.Time(cfg.HeartbeatInterval),
+			nextScrub:     simclock.Time(cfg.ScrubInterval),
 		}
 		nodeID := dkv.NodeID(n)
 		node.h.onEvict = func(id dataset.SampleID) { cl.dirRelease(node, node.lastAt, id, nodeID) }
@@ -177,6 +254,16 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 			return claimed
 		}
 		cl.nodes = append(cl.nodes, node)
+	}
+	// Lease the directory onto the cluster's virtual clock and register
+	// every node at t=0 so lease expiry — and therefore reclaim — is
+	// deterministic for a given drive sequence.
+	rawDir.SetClock(func() simclock.Time { return cl.vnow })
+	rawDir.SetMembershipParams(cfg.LeaseTTL, cfg.SuspectWindow)
+	if !cfg.DisableMembership {
+		for n := 0; n < cfg.Nodes; n++ {
+			rawDir.Register(dkv.NodeID(n), cfg.LeaseTTL)
+		}
 	}
 	return cl, nil
 }
@@ -359,24 +446,35 @@ func (cl *Cluster) dirClaim(n *clusterNode, at simclock.Time, id dataset.SampleI
 	return claimed, false
 }
 
+// deferRelease queues a failed ownership release for replay once the
+// directory heals. The queue is bounded (ClusterConfig.DeferredReleaseCap):
+// at the cap the release is dropped and counted instead, and the scrubber
+// repairs the resulting orphaned directory entry on a later sweep — so a
+// never-healing directory costs bounded memory, not an unbounded map.
+func (cl *Cluster) deferRelease(id dataset.SampleID, node dkv.NodeID) {
+	if _, queued := cl.deferred[id]; !queued && len(cl.deferred) >= cl.cfg.DeferredReleaseCap {
+		cl.res.DroppedReleases++
+		return
+	}
+	cl.deferred[id] = node
+	cl.res.DeferredReleases++
+}
+
 // dirRelease releases id for node. Failures are queued for replay once the
 // directory heals, so evictions never leave permanent stale ownership.
 func (cl *Cluster) dirRelease(n *clusterNode, at simclock.Time, id dataset.SampleID, node dkv.NodeID) {
 	if !cl.dirAvailable(n, at) {
-		cl.deferred[id] = node
-		cl.res.DeferredReleases++
+		cl.deferRelease(id, node)
 		return
 	}
 	if faulted(cl.decide(faults.OpDirRelease, at)) {
 		cl.dirFault(n, at)
-		cl.deferred[id] = node
-		cl.res.DeferredReleases++
+		cl.deferRelease(id, node)
 		return
 	}
 	if _, err := cl.dir.Release(id, node); err != nil {
 		cl.dirFault(n, at)
-		cl.deferred[id] = node
-		cl.res.DeferredReleases++
+		cl.deferRelease(id, node)
 		return
 	}
 	cl.dirHealed(n)
@@ -400,6 +498,9 @@ func (cl *Cluster) FetchBatchOn(node int, at simclock.Time, ids []dataset.Sample
 		panic(fmt.Sprintf("icache: node %d out of range [0,%d)", node, len(cl.nodes)))
 	}
 	n := cl.nodes[node]
+	if !n.alive {
+		panic(fmt.Sprintf("icache: FetchBatchOn on crashed node %d (RestartNode first)", node))
+	}
 	served := make([]dataset.SampleID, 0, len(ids))
 	for _, id := range ids {
 		at = cl.fetchOne(n, node, at, id, &served)
@@ -422,6 +523,7 @@ func (cl *Cluster) countBackendRead(degraded bool) {
 
 func (cl *Cluster) fetchOne(n *clusterNode, node int, at simclock.Time, id dataset.SampleID, served *[]dataset.SampleID) simclock.Time {
 	n.lastAt = at
+	cl.tick(n, node, at)
 	size := cl.spec.SampleBytes(id)
 	if cl.hlist.Contains(id) {
 		if n.h.contains(id) {

@@ -1,0 +1,427 @@
+package icache
+
+// Node-lifecycle chaos suite (ISSUE 3 acceptance): kill a node mid-epoch
+// and the survivor keeps serving; the dead node's directory entries are
+// reclaimed or purged within one lease cycle; the node rejoins from a
+// checkpoint replaying ownership claims (denied claims drop the local
+// copy); request conservation holds across crash, reclaim and rejoin; and
+// the whole scenario is bit-for-bit deterministic under its seeds.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+	"icache/internal/faults"
+	"icache/internal/leakcheck"
+	"icache/internal/metrics"
+	"icache/internal/sampling"
+	"icache/internal/simclock"
+	"icache/internal/storage"
+)
+
+// lifecycleConfig returns cluster timings fast enough that lease expiry,
+// reclaim and scrubbing all happen inside a test-sized run.
+func lifecycleConfig(perNode int64) ClusterConfig {
+	cfg := DefaultClusterConfig(2, perNode)
+	cfg.LeaseTTL = 400 * time.Millisecond
+	cfg.HeartbeatInterval = 100 * time.Millisecond
+	cfg.SuspectWindow = 400 * time.Millisecond
+	cfg.ScrubInterval = 200 * time.Millisecond
+	cfg.ScrubBatch = 4096
+	return cfg
+}
+
+func lifecycleCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	back, err := storage.NewBackend(chaosSpec(), storage.NFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(back, lifecycleConfig(back.Spec().TotalBytes()/5), sampling.DefaultIIS(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func lifecycleTracker(t *testing.T, rng *rand.Rand) *sampling.Tracker {
+	t.Helper()
+	tr, err := sampling.NewTracker(chaosSpec().NumSamples, 3.0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < chaosSpec().NumSamples; i++ {
+		tr.Observe(dataset.SampleID(i), chaosSpec().Difficulty(dataset.SampleID(i))*2+rng.Float64()*0.1)
+	}
+	return tr
+}
+
+// lifecycleSummary is everything the determinism check compares.
+type lifecycleSummary struct {
+	Stats    metrics.CacheStats
+	Res      metrics.ResilienceStats
+	Mem      metrics.MembershipStats
+	Requests int64
+	DirLen   int
+}
+
+// runKillRejoinScenario drives the full crash/reclaim/rejoin story on one
+// seeded cluster and returns a summary for the determinism comparison.
+func runKillRejoinScenario(t *testing.T, seed int64) lifecycleSummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cl := lifecycleCluster(t, seed)
+	tr := lifecycleTracker(t, rng)
+
+	var requests int64
+	ats := make([]simclock.Time, 2)
+	serve := func(node int, batch []dataset.SampleID) {
+		end, served := cl.FetchBatchOn(node, ats[node], batch)
+		if len(served) != len(batch) {
+			t.Fatalf("node %d served %d of %d", node, len(served), len(batch))
+		}
+		requests += int64(len(batch))
+		ats[node] = end
+	}
+
+	// Epoch 0: both nodes, round-robin. Warms both caches and populates the
+	// directory.
+	sched := cl.BeginEpoch(ats[0], 0, tr, rng)
+	for i, b := range sched.Batches(128) {
+		serve(i%2, b)
+	}
+
+	// Epoch 1: checkpoint and SIGKILL node 1 halfway through; the survivor
+	// absorbs the remaining batches mid-epoch.
+	sched = cl.BeginEpoch(ats[0], 1, tr, rng)
+	batches := sched.Batches(128)
+	half := len(batches) / 2
+	var ckpt NodeCheckpoint
+	var killedAt simclock.Time
+	var ownedAtKill int
+	for i, b := range batches {
+		if i == half {
+			ckpt = cl.SnapshotNode(1)
+			owned, err := cl.dir.OwnedBy(dkv.NodeID(1), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ownedAtKill = len(owned)
+			killedAt = ats[1]
+			cl.KillNode(1, ats[1])
+		}
+		if cl.NodeAlive(1) {
+			serve(i%2, b)
+		} else {
+			serve(0, b)
+		}
+	}
+	if cl.NodeAlive(1) {
+		t.Fatal("node 1 still alive after KillNode")
+	}
+	if ownedAtKill == 0 {
+		t.Fatal("node 1 owned nothing at kill time; scenario proves nothing")
+	}
+	if len(ckpt.H)+len(ckpt.L) == 0 {
+		t.Fatal("empty checkpoint; scenario proves nothing")
+	}
+
+	// Survivor-only epochs until virtual time is safely past the dead
+	// node's lease + suspect window + a scrub cycle.
+	deadline := killedAt + simclock.Time(cl.cfg.LeaseTTL+cl.cfg.SuspectWindow+2*cl.cfg.ScrubInterval)
+	for e := 2; ats[0] < deadline; e++ {
+		if e >= 12 {
+			t.Fatalf("virtual time %v never reached reclaim deadline %v", ats[0], deadline)
+		}
+		sched = cl.BeginEpoch(ats[0], e, tr, rng)
+		for _, b := range sched.Batches(128) {
+			serve(0, b)
+		}
+	}
+
+	// Nothing routes to the dead node any more: every directory entry it
+	// owned was reclaimed on the demand path or purged by the scrubber.
+	owned, err := cl.dir.OwnedBy(dkv.NodeID(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owned) != 0 {
+		t.Errorf("dead node still owns %d directory entries past its lease", len(owned))
+	}
+	mem := cl.Membership()
+	if mem.Deaths == 0 {
+		t.Error("lease expiry never declared the killed node dead")
+	}
+	if mem.Reclaims+mem.Purged == 0 {
+		t.Error("no dead-owned entries reclaimed or purged")
+	}
+	if mem.Heartbeats == 0 {
+		t.Error("the survivor never heartbeated")
+	}
+	if mem.ScrubSweeps == 0 {
+		t.Error("the scrubber never ran")
+	}
+
+	// Rejoin from the checkpoint: fresh lease, claims replayed; every
+	// checkpoint entry is accounted for as replayed or denied.
+	memBefore := cl.Membership()
+	if err := cl.RestartNode(1, ats[0], &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ats[1] = ats[0]
+	memAfter := cl.Membership()
+	replayed := (memAfter.ReplayedClaims - memBefore.ReplayedClaims) +
+		(memAfter.ReplayDenied - memBefore.ReplayDenied)
+	if want := int64(len(ckpt.H) + len(ckpt.L)); replayed != want {
+		t.Errorf("rejoin replayed %d claims, checkpoint holds %d entries", replayed, want)
+	}
+	if memAfter.Revivals == 0 {
+		t.Error("rejoin registration revived nothing")
+	}
+
+	// Final epoch with both nodes back: the cluster serves normally and all
+	// structural invariants hold.
+	sched = cl.BeginEpoch(ats[0], 99, tr, rng)
+	for i, b := range sched.Batches(128) {
+		serve(i%2, b)
+	}
+	assertClusterInvariants(t, cl, requests)
+
+	dirLen, err := cl.dir.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lifecycleSummary{
+		Stats:    cl.Stats(),
+		Res:      cl.Resilience(),
+		Mem:      cl.Membership(),
+		Requests: requests,
+		DirLen:   dirLen,
+	}
+}
+
+// TestLifecycleKillReclaimRejoin is the acceptance test: for three seeds,
+// the full crash/reclaim/rejoin scenario preserves conservation and is
+// deterministic under repetition.
+func TestLifecycleKillReclaimRejoin(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			leakcheck.Check(t)
+			first := runKillRejoinScenario(t, seed)
+			if first.Stats.Degraded != 0 {
+				t.Errorf("fault-free lifecycle scenario recorded %d degraded requests", first.Stats.Degraded)
+			}
+			second := runKillRejoinScenario(t, seed)
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("same seed produced different runs:\n first: %+v\nsecond: %+v", first, second)
+			}
+		})
+	}
+}
+
+// TestRestartNodeDeniedClaimDropsLocalCopy pins the rejoin semantics: a
+// checkpoint entry another node now owns is dropped (no duplicate
+// residency), an unowned entry is re-claimed and restored.
+func TestRestartNodeDeniedClaimDropsLocalCopy(t *testing.T) {
+	cl := lifecycleCluster(t, 7)
+	cl.KillNode(1, 0)
+
+	// The survivor owns sample 1; sample 2 is unowned.
+	if ok, err := cl.dir.Claim(1, 0); err != nil || !ok {
+		t.Fatalf("survivor claim: ok=%v err=%v", ok, err)
+	}
+	ck := &NodeCheckpoint{Node: 1, H: []sampling.Item{{ID: 1, IV: 5}, {ID: 2, IV: 4}}}
+	if err := cl.RestartNode(1, 10*time.Millisecond, ck); err != nil {
+		t.Fatal(err)
+	}
+	n := cl.nodes[1]
+	if n.h.contains(1) {
+		t.Error("restored a sample the survivor owns (duplicate residency)")
+	}
+	if !n.h.contains(2) {
+		t.Error("unowned checkpoint sample not restored")
+	}
+	if owner, ok, _ := cl.dir.Lookup(2); !ok || owner != 1 {
+		t.Errorf("sample 2 owner = (%d, %v), want (1, true)", owner, ok)
+	}
+	if cl.mem.ReplayedClaims != 1 || cl.mem.ReplayDenied != 1 {
+		t.Errorf("replay counters = (%d claimed, %d denied), want (1, 1)",
+			cl.mem.ReplayedClaims, cl.mem.ReplayDenied)
+	}
+
+	// Lifecycle edge cases: double restart errors, double kill is a no-op,
+	// a mismatched checkpoint is rejected.
+	if err := cl.RestartNode(1, 0, nil); err == nil {
+		t.Error("restarting a live node did not error")
+	}
+	cl.KillNode(0, 0)
+	cl.KillNode(0, 0) // no-op
+	if err := cl.RestartNode(0, 0, &NodeCheckpoint{Node: 1}); err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+	if err := cl.RestartNode(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubRepairsDirectoryDrift drives one sweep over three fabricated
+// drift states: an orphaned directory entry (owned, not cached), an
+// unregistered resident (cached, not owned), and a duplicate (cached here,
+// owned by a peer).
+func TestScrubRepairsDirectoryDrift(t *testing.T) {
+	cl := lifecycleCluster(t, 9)
+	n := cl.nodes[0]
+
+	if ok, err := cl.dir.Claim(5, 0); err != nil || !ok { // orphan
+		t.Fatalf("claim 5: ok=%v err=%v", ok, err)
+	}
+	n.h.offer(7, 100, 1.0) // unregistered resident
+	n.h.offer(9, 100, 1.0) // duplicate: directory credits node 1
+	if ok, err := cl.dir.Claim(9, 1); err != nil || !ok {
+		t.Fatalf("claim 9: ok=%v err=%v", ok, err)
+	}
+
+	cl.scrub(n, 0, 0)
+
+	if _, ok, _ := cl.dir.Lookup(5); ok {
+		t.Error("orphaned entry 5 not released")
+	}
+	if owner, ok, _ := cl.dir.Lookup(7); !ok || owner != 0 {
+		t.Errorf("unregistered resident 7 owner = (%d, %v), want (0, true)", owner, ok)
+	}
+	if n.h.contains(9) {
+		t.Error("duplicate copy of 9 not dropped")
+	}
+	if cl.mem.ScrubReleased != 1 || cl.mem.ScrubReclaimed != 1 || cl.mem.ScrubDropped != 1 {
+		t.Errorf("scrub counters = %+v, want released=1 reclaimed=1 dropped=1", cl.mem)
+	}
+	if cl.mem.ScrubSweeps != 1 {
+		t.Errorf("ScrubSweeps = %d, want 1", cl.mem.ScrubSweeps)
+	}
+}
+
+// TestDeferredReleaseQueueBounded is the satellite memory test: once the
+// directory dies and never heals, failed ownership releases queue only up
+// to DeferredReleaseCap — an eviction storm past the cap is dropped and
+// counted rather than growing the map without bound, and conservation
+// still holds for the batches served while degraded.
+func TestDeferredReleaseQueueBounded(t *testing.T) {
+	back, err := storage.NewBackend(chaosSpec(), storage.NFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lifecycleConfig(back.Spec().TotalBytes() / 5)
+	cfg.DeferredReleaseCap = 8
+	cl, err := NewCluster(back, cfg, sampling.DefaultIIS(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	tr := lifecycleTracker(t, rng)
+	var requests int64
+	ats := make([]simclock.Time, 2)
+	drive := func(e int) {
+		sched := cl.BeginEpoch(ats[0], e, tr, rng)
+		for i, b := range sched.Batches(128) {
+			node := i % 2
+			end, served := cl.FetchBatchOn(node, ats[node], b)
+			if len(served) != len(b) {
+				t.Fatalf("epoch %d batch %d: served %d of %d", e, i, len(served), len(b))
+			}
+			requests += int64(len(b))
+			ats[node] = end
+		}
+	}
+
+	// Epoch 0 runs against a healthy directory so the nodes actually acquire
+	// ownership (a node that never claimed anything has nothing to release).
+	// Then the directory dies and never heals.
+	drive(0)
+	deadDir := func(op string) faults.Rule {
+		return faults.Rule{Op: op, Action: faults.ActError}
+	}
+	cl.SetFaultInjector(faults.New(11).Add(
+		deadDir(faults.OpDirLookup), deadDir(faults.OpDirClaim), deadDir(faults.OpDirRelease),
+		deadDir(faults.OpDirHeartbeat), deadDir(faults.OpDirRegister), deadDir(faults.OpDirScan),
+	))
+	drive(1)
+	drive(2)
+	assertClusterInvariants(t, cl, requests)
+
+	// Memory pressure on node 0 now evicts every resident while the
+	// directory is down: each eviction tries to release its ownership,
+	// fails, and is deferred — but only up to the cap.
+	n := cl.nodes[0]
+	if evictions := n.h.len() + n.l.len(); evictions <= cfg.DeferredReleaseCap {
+		t.Fatalf("only %d residents to evict; need more than the cap %d",
+			evictions, cfg.DeferredReleaseCap)
+	}
+	n.h.resize(0)
+	n.l.resize(0)
+
+	if got := len(cl.deferred); got > cfg.DeferredReleaseCap {
+		t.Errorf("deferred queue grew to %d, cap %d", got, cfg.DeferredReleaseCap)
+	}
+	res := cl.Resilience()
+	if res.DeferredReleases == 0 {
+		t.Error("no releases were ever deferred")
+	}
+	if res.DroppedReleases == 0 {
+		t.Error("eviction storm past the cap produced no dropped releases")
+	}
+}
+
+// TestHeartbeatLapseTriggersReregistration partitions every directory
+// operation for longer than the lease TTL: the node's lease lapses while it
+// serves local-only, its next heartbeat after the heal is rejected, and it
+// re-registers and reconciles ownership.
+func TestHeartbeatLapseTriggersReregistration(t *testing.T) {
+	cl := lifecycleCluster(t, 13)
+	const from, until = 100 * time.Millisecond, 900 * time.Millisecond
+	part := func(op string) faults.Rule { return faults.Partition(op, from, until, nil) }
+	cl.SetFaultInjector(faults.New(13).Add(
+		part(faults.OpDirLookup), part(faults.OpDirClaim), part(faults.OpDirRelease),
+		part(faults.OpDirHeartbeat), part(faults.OpDirRegister), part(faults.OpDirScan),
+	))
+
+	rng := rand.New(rand.NewSource(13))
+	tr := lifecycleTracker(t, rng)
+	var requests int64
+	ats := make([]simclock.Time, 2)
+	for e := 0; ats[0] < 2*until; e++ {
+		if e >= 12 {
+			t.Fatalf("virtual time %v never passed the partition window", ats[0])
+		}
+		sched := cl.BeginEpoch(ats[0], e, tr, rng)
+		for i, b := range sched.Batches(128) {
+			node := i % 2
+			end, served := cl.FetchBatchOn(node, ats[node], b)
+			if len(served) != len(b) {
+				t.Fatalf("served %d of %d", len(served), len(b))
+			}
+			requests += int64(len(b))
+			ats[node] = end
+		}
+	}
+
+	mem := cl.Membership()
+	if mem.HeartbeatRejects == 0 {
+		t.Error("lapsed lease never rejected a heartbeat")
+	}
+	if mem.Revivals == 0 {
+		t.Error("re-registration revived nothing")
+	}
+	if mem.ReplayedClaims == 0 {
+		t.Error("ownership reconciliation re-claimed nothing")
+	}
+	if cl.Stats().Degraded == 0 {
+		t.Error("a full directory partition degraded nothing")
+	}
+	assertClusterInvariants(t, cl, requests)
+}

@@ -244,6 +244,20 @@ func (ld *loader) pump(now simclock.Time, hl *sampling.HList, h *hcache, l *lcac
 	}
 }
 
+// reset discards all in-flight state (crash semantics): pending package
+// arrivals are lost with the node's memory, and the miss queue is cleared
+// because the misses it recorded were for a cache that no longer exists.
+// Cumulative counters (packages, samples, byte totals) survive.
+func (ld *loader) reset(now simclock.Time) {
+	ld.pending = nil
+	ld.missedQ = nil
+	ld.missedSet = make(map[dataset.SampleID]struct{})
+	ld.gated = false
+	if ld.nextFree < now {
+		ld.nextFree = now
+	}
+}
+
 // deliver applies every package whose read completed at or before now.
 func (ld *loader) deliver(now simclock.Time, l *lcache) {
 	kept := ld.pending[:0]

@@ -72,6 +72,7 @@ type ResilienceStats struct {
 	LocalOnlySkips   int64 // directory operations skipped while local-only
 	DeferredReleases int64 // ownership releases queued while the directory was down
 	ReplayedReleases int64 // deferred releases replayed after the directory healed
+	DroppedReleases  int64 // deferred releases dropped at the queue cap (the scrubber repairs the stale entries later)
 	Retries          int64 // network operations that needed at least one retry
 	Redials          int64 // connections re-established after a transport failure
 }
@@ -85,6 +86,7 @@ func (r *ResilienceStats) Add(o ResilienceStats) {
 	r.LocalOnlySkips += o.LocalOnlySkips
 	r.DeferredReleases += o.DeferredReleases
 	r.ReplayedReleases += o.ReplayedReleases
+	r.DroppedReleases += o.DroppedReleases
 	r.Retries += o.Retries
 	r.Redials += o.Redials
 }
@@ -93,9 +95,60 @@ func (r *ResilienceStats) Add(o ResilienceStats) {
 func (r ResilienceStats) Faults() int64 { return r.DirFailures + r.PeerFailures }
 
 func (r ResilienceStats) String() string {
-	return fmt.Sprintf("dirFail=%d peerFail=%d degraded=%d localOnly=%d skips=%d deferredRel=%d replayedRel=%d retries=%d redials=%d",
+	return fmt.Sprintf("dirFail=%d peerFail=%d degraded=%d localOnly=%d skips=%d deferredRel=%d replayedRel=%d droppedRel=%d retries=%d redials=%d",
 		r.DirFailures, r.PeerFailures, r.DegradedReads, r.LocalOnly,
-		r.LocalOnlySkips, r.DeferredReleases, r.ReplayedReleases, r.Retries, r.Redials)
+		r.LocalOnlySkips, r.DeferredReleases, r.ReplayedReleases, r.DroppedReleases, r.Retries, r.Redials)
+}
+
+// MembershipStats counts node-lifecycle events across the distributed
+// cache: lease churn on the directory side (registrations, heartbeats,
+// state transitions, reclaimed/purged entries) and reconciliation work on
+// the node side (anti-entropy scrub sweeps, rejoin claim replay). Like
+// ResilienceStats they are observability counters, not part of the
+// request-conservation invariant.
+type MembershipStats struct {
+	// Directory-side lease counters.
+	Registers        int64 // lease grants (first registrations and re-registrations)
+	Heartbeats       int64 // successful lease renewals
+	HeartbeatRejects int64 // heartbeats arriving at/after lease expiry (node must re-register)
+	Suspects         int64 // observed Live → Suspect transitions
+	Deaths           int64 // observed → Dead transitions
+	Revivals         int64 // registrations that revived a Suspect/Dead node
+	Reclaims         int64 // claims that took over a Dead node's entry (first claimer wins)
+	Purged           int64 // Dead-owned entries garbage-collected (on lookup or by PurgeDead)
+
+	// Node-side reconciliation counters.
+	ScrubSweeps    int64 // anti-entropy sweeps completed
+	ScrubReleased  int64 // orphaned directory entries released (registered but not cached)
+	ScrubReclaimed int64 // cached-but-unregistered samples re-claimed
+	ScrubDropped   int64 // local copies dropped because another node owns the sample
+	ReplayedClaims int64 // ownership claims replayed from a checkpoint on rejoin
+	ReplayDenied   int64 // replayed claims denied (the survivor won; local copy dropped)
+}
+
+// Add accumulates o into m.
+func (m *MembershipStats) Add(o MembershipStats) {
+	m.Registers += o.Registers
+	m.Heartbeats += o.Heartbeats
+	m.HeartbeatRejects += o.HeartbeatRejects
+	m.Suspects += o.Suspects
+	m.Deaths += o.Deaths
+	m.Revivals += o.Revivals
+	m.Reclaims += o.Reclaims
+	m.Purged += o.Purged
+	m.ScrubSweeps += o.ScrubSweeps
+	m.ScrubReleased += o.ScrubReleased
+	m.ScrubReclaimed += o.ScrubReclaimed
+	m.ScrubDropped += o.ScrubDropped
+	m.ReplayedClaims += o.ReplayedClaims
+	m.ReplayDenied += o.ReplayDenied
+}
+
+func (m MembershipStats) String() string {
+	return fmt.Sprintf("reg=%d hb=%d hbRej=%d suspect=%d dead=%d revive=%d reclaim=%d purged=%d scrub{sweeps=%d released=%d reclaimed=%d dropped=%d} replay{claims=%d denied=%d}",
+		m.Registers, m.Heartbeats, m.HeartbeatRejects, m.Suspects, m.Deaths, m.Revivals,
+		m.Reclaims, m.Purged, m.ScrubSweeps, m.ScrubReleased, m.ScrubReclaimed, m.ScrubDropped,
+		m.ReplayedClaims, m.ReplayDenied)
 }
 
 // ServingStats counts concurrent-serving-path events on the network

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // SaveCheckpoint writes the cache's warm state (see icache.Checkpoint).
@@ -40,18 +41,53 @@ func (s *Server) LoadCheckpoint(r io.Reader, rehydrate bool) error {
 	return nil
 }
 
-// SaveCheckpointFile and LoadCheckpointFile are the path-based conveniences
-// the icache-server command uses around shutdown/startup.
-func (s *Server) SaveCheckpointFile(path string) error {
-	f, err := os.Create(path)
+// atomicWriteFile writes a file crash-atomically: the content goes to a
+// temp file in the same directory (same filesystem, so the rename cannot
+// degrade to a copy), is fsynced so the bytes are durable before the name
+// changes, and is renamed over the target only once complete. The directory
+// is then fsynced so the rename itself survives a crash. A failure at any
+// step leaves the previous file untouched and removes the temp file — a
+// torn write can never replace a good checkpoint with a partial one.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := s.SaveCheckpoint(f); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		// Directory fsync is advisory (some filesystems reject it); the
+		// rename above is already atomic with respect to readers.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveCheckpointFile and LoadCheckpointFile are the path-based conveniences
+// the icache-server command uses around shutdown/startup. Saves are
+// crash-atomic: an error (or crash) mid-write leaves the previous
+// checkpoint file intact.
+func (s *Server) SaveCheckpointFile(path string) error {
+	return atomicWriteFile(path, s.SaveCheckpoint)
 }
 
 // LoadCheckpointFile restores from path; a missing file is not an error

@@ -35,6 +35,17 @@ type MetricsSnapshot struct {
 	PeerServes int64 `json:"peer_serves"`
 	PeerHits   int64 `json:"peer_hits"`
 
+	// Node-lifecycle counters (zero unless StartMembership ran).
+	MembershipRegisters  int64 `json:"membership_registers"`
+	MembershipHeartbeats int64 `json:"membership_heartbeats"`
+	MembershipHBRejects  int64 `json:"membership_heartbeat_rejects"`
+	ScrubSweeps          int64 `json:"scrub_sweeps"`
+	ScrubReleased        int64 `json:"scrub_released"`
+	ScrubReclaimed       int64 `json:"scrub_reclaimed"`
+	ScrubDropped         int64 `json:"scrub_dropped"`
+	ReplayedClaims       int64 `json:"replayed_claims"`
+	ReplayDenied         int64 `json:"replay_denied"`
+
 	// Concurrent-serving-path counters (see metrics.ServingStats).
 	CoalescedMisses    int64   `json:"coalesced_misses"`
 	PrefetchWorkers    int64   `json:"prefetch_workers"`
@@ -97,6 +108,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.dist != nil {
 		snap.PeerServes = atomic.LoadInt64(&s.dist.peerServes)
 		snap.PeerHits = atomic.LoadInt64(&s.dist.peerHits)
+		mem := s.MembershipStats()
+		snap.MembershipRegisters = mem.Registers
+		snap.MembershipHeartbeats = mem.Heartbeats
+		snap.MembershipHBRejects = mem.HeartbeatRejects
+		snap.ScrubSweeps = mem.ScrubSweeps
+		snap.ScrubReleased = mem.ScrubReleased
+		snap.ScrubReclaimed = mem.ScrubReclaimed
+		snap.ScrubDropped = mem.ScrubDropped
+		snap.ReplayedClaims = mem.ReplayedClaims
+		snap.ReplayDenied = mem.ReplayDenied
 	}
 	sv := s.ServingStats()
 	snap.CoalescedMisses = sv.CoalescedMisses

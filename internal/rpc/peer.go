@@ -8,6 +8,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/dkv"
+	"icache/internal/metrics"
 	"icache/internal/retry"
 )
 
@@ -59,6 +60,18 @@ type distState struct {
 	peerHits     int64 // local misses served from a peer's cache (atomic)
 	peerFailures int64 // peer dials/reads that failed (atomic)
 	dirFailures  int64 // directory operations that failed (atomic)
+
+	// Wall-clock membership loop state (see lifecycle.go); memStop is nil
+	// until StartMembership.
+	memCfg   MembershipConfig
+	memStop  chan struct{}
+	memWG    sync.WaitGroup
+	memMu    sync.Mutex // guards mem, lastBeat, scrubMark
+	mem      metrics.MembershipStats
+	lastBeat time.Time
+	// scrubMark is the anti-entropy watermark into this node's sorted
+	// resident set (bounded sweeps eventually cover everything).
+	scrubMark int
 }
 
 // EnableDistributed joins the server to a directory service and a peer set.

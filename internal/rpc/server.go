@@ -198,6 +198,7 @@ func (s *Server) Close() error {
 		s.prefetch.stop()
 	}
 	if s.dist != nil {
+		s.StopMembership()
 		s.dist.closePeers()
 	}
 	return err
