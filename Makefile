@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs obs-smoke experiments experiments-quick fuzz fuzz-short clean
 
-all: build vet test test-race chaos fuzz-short
+all: build vet test test-race chaos fuzz-short obs-smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,23 @@ bench-serving:
 	$(GO) test -run NONE -bench 'ServeConcurrent|ServeHotSet' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_serving.txt
 	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/wire/ >> /tmp/bench_serving.txt
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_serving.json < /tmp/bench_serving.txt
+
+# Observability smoke: the exposition goldens (Prometheus text + pinned
+# JSON bytes), the histogram/quantile property tests, the trace-envelope
+# rejection tables, and the two-node cross-node hop-chain round trips
+# (including the chaos variant with injected peer faults). Fast enough to
+# gate `make all` on; -count=1 defeats the test cache so the goldens are
+# re-checked every run.
+obs-smoke:
+	$(GO) test -count=1 ./internal/obs/ ./internal/trace/
+	$(GO) test -count=1 -run 'TestMetricsJSONBytesUnchanged|TestPrometheusExposition|TestTraced|TestSlowRequest|TestObs|TestDebugObs' ./internal/rpc/
+	$(GO) test -count=1 -run 'TestDirTraced|TestDirEnvelope|TestDirObs' ./internal/dkv/
+
+# Observability overhead benchmark (off vs histograms-armed vs every
+# request traced on the 8-client miss-heavy workload), archived as JSON.
+bench-obs:
+	$(GO) test -run NONE -bench 'ObsOverhead' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_obs.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_obs.json < /tmp/bench_obs.txt
 
 # Regenerate the full evaluation at paper scale (~4 minutes).
 experiments:

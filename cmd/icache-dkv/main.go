@@ -7,32 +7,101 @@
 //	icache-dkv -addr :7821
 //
 // Cache nodes join with `icache-server -node-id N -dir <addr> -peers ...`.
+//
+// With -debug-addr the service also exposes an observability surface: the
+// per-request latency histogram and trace-ring summary at /debug/obs, and
+// (with -pprof) the net/http/pprof handlers. With -trace-csv, directory
+// spans of traced cache requests are dumped at shutdown so icache-trace
+// can place the directory hop in the cross-node chain.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"icache/internal/dkv"
+	"icache/internal/obs"
+	"icache/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7821", "listen address")
 	leaseTTL := flag.Duration("lease-ttl", dkv.DefaultLeaseTTL, "default membership lease TTL granted to nodes that register without one")
 	suspect := flag.Duration("suspect-window", dkv.DefaultSuspectWindow, "how long past lease expiry a node stays routable before it is declared dead")
+	debugAt := flag.String("debug-addr", "", "serve /debug/obs on this address (e.g. :7831); also arms the per-request latency histogram")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the debug address (requires -debug-addr)")
+	traceCSV := flag.String("trace-csv", "", "dump directory-side spans of traced requests to this CSV file at shutdown; also arms span recording")
 	flag.Parse()
 
 	dir := dkv.NewDirectory()
 	dir.SetMembershipParams(*leaseTTL, *suspect)
 	srv := dkv.NewDirServer(dir)
+
+	var tracer *trace.Recorder
+	if *traceCSV != "" {
+		tracer = trace.NewRecorder(1 << 18)
+	}
+	var reg *obs.Registry
+	if *debugAt != "" {
+		reg = obs.NewRegistry()
+	}
+	if reg != nil || tracer != nil {
+		srv.EnableObs(reg, tracer)
+	}
+
+	var debugSrv *http.Server
+	if *debugAt != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/obs", srv.DebugObsHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		debugSrv = &http.Server{Addr: *debugAt, Handler: mux}
+		go func() {
+			log.Printf("icache-dkv: debug on http://%s/debug/obs", *debugAt)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("icache-dkv: debug: %v", err)
+			}
+		}()
+	} else if *pprofOn {
+		log.Printf("icache-dkv: -pprof ignored (requires -debug-addr)")
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		log.Printf("icache-dkv: shutting down")
+		if debugSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				log.Printf("icache-dkv: debug shutdown: %v", err)
+			}
+			cancel()
+		}
+		if tracer != nil {
+			if f, err := os.Create(*traceCSV); err != nil {
+				log.Printf("icache-dkv: trace dump: %v", err)
+			} else {
+				if err := tracer.WriteCSV(f); err != nil {
+					log.Printf("icache-dkv: trace dump: %v", err)
+				}
+				f.Close()
+				log.Printf("icache-dkv: trace (%d events retained, %d total) dumped to %s",
+					tracer.Len(), tracer.Total(), *traceCSV)
+			}
+		}
 		srv.Close()
 	}()
 	log.Printf("icache-dkv: directory service listening on %s", *addr)

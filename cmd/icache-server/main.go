@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"icache/internal/dataset"
 	"icache/internal/dkv"
 	"icache/internal/icache"
+	"icache/internal/obs"
 	"icache/internal/rpc"
 	"icache/internal/sampling"
 	"icache/internal/storage"
@@ -76,8 +78,10 @@ func main() {
 		prefetchN = flag.Int("prefetch-workers", 4, "async prefetch worker pool size for L-package byte loading (the paper's Fig. 15 knob); 0 disables prefetching")
 		seed      = flag.Int64("seed", 42, "server randomness seed")
 		ckptPath  = flag.String("checkpoint", "", "warm-restart checkpoint file: load at boot, save at shutdown")
-		metricsAt = flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (e.g. :7830)")
-		traceCSV  = flag.String("trace-csv", "", "dump a request-event trace to this CSV file at shutdown")
+		metricsAt = flag.String("metrics-addr", "", "serve a metrics endpoint on this address (e.g. :7830): JSON at /metrics, Prometheus text at /metrics?format=prom; also arms the per-stage latency histograms")
+		traceCSV  = flag.String("trace-csv", "", "dump a request-event trace (policy events + cross-node spans) to this CSV file at shutdown; also arms span recording for traced requests")
+		slowReq   = flag.Duration("slow-request-threshold", 0, "log GetBatch serves slower than this (0 disables; at most one line per 10s)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof and /debug/obs on the metrics address (requires -metrics-addr)")
 		nodeID    = flag.Int("node-id", -1, "distributed mode: this node's ID (requires -dir)")
 		dirAddr   = flag.String("dir", "", "distributed mode: directory service address (see icache-dkv)")
 		peers     = flag.String("peers", "", "distributed mode: comma-separated id=addr peer list, e.g. 1=host:7820,2=host2:7820")
@@ -131,6 +135,21 @@ func main() {
 	}
 
 	srv := rpc.NewServer(cacheSrv, source)
+	// Per-stage latency histograms ride with the metrics endpoint (they are
+	// what make the Prometheus view useful); cross-node span recording rides
+	// with -trace-csv, sharing the policy-event ring so one CSV holds the
+	// whole story. Either may be nil — EnableObs treats nil as "off".
+	var obsReg *obs.Registry
+	if *metricsAt != "" {
+		obsReg = obs.NewRegistry()
+	}
+	if obsReg != nil || tracer != nil {
+		srv.EnableObs(obsReg, tracer)
+	}
+	if *slowReq > 0 {
+		srv.SetSlowRequestLog(*slowReq, 10*time.Second)
+		log.Printf("icache-server: slow-request log armed at %s", *slowReq)
+	}
 	if *ckptPath != "" {
 		loaded, err := srv.LoadCheckpointFile(*ckptPath, true)
 		if err != nil {
@@ -174,14 +193,27 @@ func main() {
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/healthz", srv.HealthHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.Handle("/debug/obs", srv.DebugObsHandler())
+		}
 		mux.Handle("/", srv.MetricsHandler()) // any other path serves metrics
 		metricsSrv = &http.Server{Addr: *metricsAt, Handler: mux}
 		go func() {
-			log.Printf("icache-server: metrics on http://%s/metrics, health on /healthz", *metricsAt)
+			log.Printf("icache-server: metrics on http://%s/metrics (JSON; ?format=prom for Prometheus), health on /healthz", *metricsAt)
+			if *pprofOn {
+				log.Printf("icache-server: pprof on http://%s/debug/pprof/, stage summary on /debug/obs", *metricsAt)
+			}
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("icache-server: metrics: %v", err)
 			}
 		}()
+	} else if *pprofOn {
+		log.Printf("icache-server: -pprof ignored (requires -metrics-addr)")
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,12 +1,15 @@
 // Command icache-trace analyzes a request-event trace dumped by
 // icache-server's -trace-csv flag: event counts, hit ratio, epoch
-// boundaries, and the most-missed / most-substituted samples — the
-// operator's view into *why* the cache behaves as it does.
+// boundaries, the most-missed / most-substituted samples, and — when the
+// dump carries span events from cross-node request tracing — the per-hop
+// latency breakdown and the slowest request chains. This is the operator's
+// view into *why* the cache behaves as it does.
 //
 // Usage:
 //
 //	icache-server -trace-csv /tmp/cache-trace.csv ...   # run, then stop
 //	icache-trace /tmp/cache-trace.csv
+//	icache-trace -slow 5 /tmp/cache-trace.csv           # 5 slowest chains
 package main
 
 import (
@@ -20,9 +23,10 @@ import (
 
 func main() {
 	topN := flag.Int("top", 10, "how many samples to show in the rankings")
+	slowN := flag.Int("slow", 0, "show the N slowest traced request chains with full hop detail")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icache-trace [-top N] <trace.csv>")
+		fmt.Fprintln(os.Stderr, "usage: icache-trace [-top N] [-slow N] <trace.csv>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -35,4 +39,5 @@ func main() {
 		log.Fatalf("icache-trace: %v", err)
 	}
 	trace.Analyze(events, *topN).Print(os.Stdout)
+	trace.PrintSpans(os.Stdout, trace.Chains(events), *slowN)
 }

@@ -15,11 +15,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/obs"
 	"icache/internal/rpc"
 	"icache/internal/sampling"
+	"icache/internal/trace"
 	"icache/internal/train"
 )
 
@@ -32,6 +35,8 @@ func main() {
 		workers = flag.Int("workers", 4, "concurrent fetch workers (one connection each, like PyTorch data workers)")
 		seed    = flag.Int64("seed", 1, "sampler seed")
 		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		traceN  = flag.Int("trace-sample", 0, "trace 1 in N GetBatch requests end to end (0 disables); traced requests carry a trace envelope the server and its peers record spans under")
+		traceTo = flag.String("trace-csv", "", "dump the client-side spans of traced requests to this CSV at exit (combine with the server's -trace-csv in icache-trace)")
 	)
 	flag.Parse()
 
@@ -50,6 +55,15 @@ func main() {
 	if *workers < 1 {
 		log.Fatalf("icache-train: -workers %d, want >= 1", *workers)
 	}
+	// Request tracing: one shared recorder and 1-in-N sampler across all
+	// worker connections, so "1 in N" holds globally.
+	var tracer *trace.Recorder
+	var sampler *obs.Sampler
+	if *traceN > 0 {
+		tracer = trace.NewRecorder(1 << 18)
+		sampler = obs.NewSampler(*traceN)
+	}
+
 	// One connection per worker, like PyTorch's per-worker loader processes.
 	clients := make([]*rpc.Client, *workers)
 	for w := range clients {
@@ -58,6 +72,9 @@ func main() {
 			log.Fatalf("icache-train: %v", err)
 		}
 		defer c.Close()
+		if tracer != nil {
+			c.EnableObs(nil, tracer, sampler)
+		}
 		clients[w] = c
 	}
 	client := clients[0]
@@ -140,5 +157,21 @@ func main() {
 			epoch, trained, float64(bytes)/(1<<20), elapsed.Round(time.Millisecond),
 			float64(trained)/elapsed.Seconds(),
 			st.Hits, st.Misses, st.Substitutions, 100*hitRatio, st.HCacheLen, st.LCacheLen, st.Packages)
+	}
+
+	if tracer != nil {
+		events := tracer.Snapshot()
+		trace.PrintSpans(os.Stdout, trace.Chains(events), 3)
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				log.Fatalf("icache-train: trace dump: %v", err)
+			}
+			if err := tracer.WriteCSV(f); err != nil {
+				log.Fatalf("icache-train: trace dump: %v", err)
+			}
+			f.Close()
+			fmt.Printf("traced spans dumped to %s (analyze with icache-trace, merge with the server's CSV for the full hop chain)\n", *traceTo)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/obs"
 	"icache/internal/retry"
 	"icache/internal/wire"
 )
@@ -47,6 +48,10 @@ type DirServer struct {
 	connMu  sync.Mutex
 	connSet map[net.Conn]struct{}
 	closed  chan struct{}
+
+	// obs is the optional observability state (see obs.go); zero value =
+	// everything off.
+	obs dirObs
 }
 
 // NewDirServer wraps dir for network service.
@@ -145,7 +150,7 @@ func (s *DirServer) serveConn(conn net.Conn) {
 		}
 		rbuf = req[:0]
 		e := wire.GetBuffer()
-		s.dispatchInto(req, e)
+		s.dispatchCtx(req, e, obs.TraceCtx{})
 		err = wire.WriteFrame(conn, e.B)
 		wire.PutBuffer(e)
 		if err != nil {

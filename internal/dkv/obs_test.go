@@ -1,0 +1,171 @@
+package dkv
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"icache/internal/obs"
+	"icache/internal/trace"
+	"icache/internal/wire"
+)
+
+// startObsDirServer is startDirServer with the observability layer armed
+// before Serve.
+func startObsDirServer(t *testing.T) (string, *Directory, *obs.Registry, *trace.Recorder) {
+	t.Helper()
+	dir := NewDirectory()
+	srv := NewDirServer(dir)
+	reg := obs.NewRegistry()
+	tracer := trace.NewRecorder(1 << 10)
+	srv.EnableObs(reg, tracer)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), dir, reg, tracer
+}
+
+func TestDirTracedLookup(t *testing.T) {
+	addr, dir, reg, tracer := startObsDirServer(t)
+	if !dir.Claim(7, 3) {
+		t.Fatal("claim failed")
+	}
+	c := dialDir(t, addr)
+
+	// A plain lookup and a traced lookup must return the same answer.
+	node, ok, err := c.Lookup(7)
+	if err != nil || !ok || node != 3 {
+		t.Fatalf("Lookup = (%d, %v, %v)", node, ok, err)
+	}
+	ctx := obs.TraceCtx{ID: 0xfeed, Hop: 2}
+	node, ok, err = c.LookupTraced(7, ctx)
+	if err != nil || !ok || node != 3 {
+		t.Fatalf("LookupTraced = (%d, %v, %v)", node, ok, err)
+	}
+	// Miss through the envelope, too.
+	_, ok, err = c.LookupTraced(1234, ctx)
+	if err != nil || ok {
+		t.Fatalf("LookupTraced(absent) = (%v, %v)", ok, err)
+	}
+
+	// The traced lookups (and only those) produced RPCRecv spans at the
+	// carried hop, tagged with the inner opcode.
+	var spans []trace.Event
+	for _, e := range tracer.Snapshot() {
+		if e.Kind.IsSpan() {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2 (one per traced lookup)", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Kind != trace.KindRPCRecv {
+			t.Fatalf("span kind %v", sp.Kind)
+		}
+		if sp.TraceID != 0xfeed || sp.Hop != 2 {
+			t.Fatalf("span ctx = (%016x, %d), want (feed, 2)", sp.TraceID, sp.Hop)
+		}
+		if sp.Arg != opLookup {
+			t.Fatalf("span arg %d, want inner opcode %d", sp.Arg, opLookup)
+		}
+	}
+
+	// The per-request histogram counted every request (traced or not).
+	var served uint64
+	for _, ns := range reg.Snapshot() {
+		if ns.Name == StageDirServe {
+			served = ns.Snap.Count
+		}
+	}
+	if served < 3 {
+		t.Fatalf("dir_serve histogram count %d, want >= 3", served)
+	}
+
+	// A zero trace context degrades to the plain request.
+	if _, _, err := c.LookupTraced(7, obs.TraceCtx{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirEnvelopeRejections pins the envelope's safety properties at the
+// dispatch layer: nested envelopes and zero trace IDs are errors, and a
+// truncated envelope fails cleanly.
+func TestDirEnvelopeRejections(t *testing.T) {
+	srv := NewDirServer(NewDirectory())
+	srv.EnableObs(obs.NewRegistry(), trace.NewRecorder(16))
+
+	dispatch := func(req []byte) (status byte, msg string) {
+		var e wire.Buffer
+		srv.dispatchCtx(req, &e, obs.TraceCtx{})
+		d := wire.NewReader(e.B)
+		status = d.U8()
+		if status == statusErr {
+			msg = d.Str()
+		}
+		return status, msg
+	}
+
+	envelope := func(id uint64, hop uint8, inner []byte) []byte {
+		var e wire.Buffer
+		e.U8(opTraced)
+		e.I64(int64(id))
+		e.U8(hop)
+		e.B = append(e.B, inner...)
+		return e.B
+	}
+	var lookup wire.Buffer
+	lookup.U8(opLookup)
+	lookup.I64(7)
+
+	// Well-formed envelope dispatches fine.
+	if st, msg := dispatch(envelope(9, 1, lookup.B)); st != statusOK {
+		t.Fatalf("traced lookup rejected: %s", msg)
+	}
+	// Nested envelope is rejected.
+	if st, msg := dispatch(envelope(9, 1, envelope(9, 2, lookup.B))); st != statusErr || !strings.Contains(msg, "nested") {
+		t.Fatalf("nested envelope: status %d msg %q", st, msg)
+	}
+	// Zero trace ID is rejected.
+	if st, msg := dispatch(envelope(0, 1, lookup.B)); st != statusErr {
+		t.Fatalf("zero trace id accepted: status %d msg %q", st, msg)
+	}
+	// Truncated envelope fails cleanly.
+	if st, _ := dispatch([]byte{opTraced, 1, 2}); st != statusErr {
+		t.Fatalf("truncated envelope accepted: status %d", st)
+	}
+}
+
+// TestDirObsDisabledIsInert pins the nil-recorder contract: a server with
+// no observability wiring serves traced envelopes correctly (the context
+// is simply dropped) and records nothing.
+func TestDirObsDisabledIsInert(t *testing.T) {
+	dir := NewDirectory()
+	if !dir.Claim(7, 3) {
+		t.Fatal("claim failed")
+	}
+	srv := NewDirServer(dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := DialDir(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	node, ok, err := c.LookupTraced(7, obs.TraceCtx{ID: 5, Hop: 1})
+	if err != nil || !ok || node != 3 {
+		t.Fatalf("LookupTraced on plain server = (%d, %v, %v)", node, ok, err)
+	}
+	if srv.ObsRegistry() != nil {
+		t.Fatal("registry materialized on a plain server")
+	}
+}

@@ -3,9 +3,11 @@ package icache
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/metrics"
+	"icache/internal/obs"
 	"icache/internal/sampling"
 	"icache/internal/simclock"
 	"icache/internal/storage"
@@ -55,7 +57,11 @@ type Server struct {
 
 	// tracer records request-level events when set (nil = off).
 	tracer *trace.Recorder
-	epoch  int64
+	// subScanHist, when set, times each substitute-selection scan (the
+	// policy's hunt for a served-already resident to swap in for a missed
+	// L-sample). nil = off; see SetSubstitutionScanHist.
+	subScanHist *obs.Histogram
+	epoch       int64
 }
 
 // NewServer builds an iCache server over the given backend.
@@ -207,6 +213,11 @@ func (s *Server) SetManaged(managed bool) { s.managed = managed }
 // SetTracer attaches an event recorder (nil detaches). Tracing is off by
 // default and costs nothing when detached.
 func (s *Server) SetTracer(r *trace.Recorder) { s.tracer = r }
+
+// SetSubstitutionScanHist attaches a latency histogram to the
+// substitute-selection scan (nil detaches — recording into a nil histogram
+// is a no-op, so the disabled path costs one nil check).
+func (s *Server) SetSubstitutionScanHist(h *obs.Histogram) { s.subScanHist = h }
 
 // Tracer returns the attached recorder, if any.
 func (s *Server) Tracer() *trace.Recorder { return s.tracer }
@@ -386,23 +397,14 @@ func (s *Server) fetchOne(at simclock.Time, id dataset.SampleID, routing *sampli
 	}
 	s.ld.recordMiss(id)
 
-	switch s.cfg.Substitute {
-	case SubstituteLCache:
-		if sub, ok := s.l.substitute(s.rng); ok {
+	if s.cfg.Substitute != SubstituteNone {
+		if sub, ok := s.pickSubstitute(); ok {
 			s.stats.Substitutions++
 			s.tracer.Record(at, trace.KindSubstitute, id, int64(sub))
 			*served = append(*served, sub)
 			return at + s.cfg.HitLatency
 		}
-	case SubstituteHCache:
-		if sub, ok := s.randomHResident(); ok {
-			s.stats.Substitutions++
-			s.tracer.Record(at, trace.KindSubstitute, id, int64(sub))
-			*served = append(*served, sub)
-			return at + s.cfg.HitLatency
-		}
-	case SubstituteNone:
-		// fall through to storage
+		// No substitute available: fall through to storage.
 	}
 
 	s.stats.Misses++
@@ -466,6 +468,29 @@ func (s *Server) fetchStaticChunk(at simclock.Time, id dataset.SampleID, served 
 func (s *Server) hlistValue(id dataset.SampleID) (float64, bool) {
 	iv, ok := s.hlistIV[id]
 	return iv, ok
+}
+
+// pickSubstitute runs the configured substitute-selection scan and times
+// it into subScanHist when attached. Callers check Substitute !=
+// SubstituteNone first, so every call performs a real scan and the
+// histogram never counts no-op invocations.
+func (s *Server) pickSubstitute() (dataset.SampleID, bool) {
+	var t0 time.Time
+	if s.subScanHist != nil {
+		t0 = time.Now()
+	}
+	var (
+		sub dataset.SampleID
+		ok  bool
+	)
+	switch s.cfg.Substitute {
+	case SubstituteLCache:
+		sub, ok = s.l.substitute(s.rng)
+	case SubstituteHCache:
+		sub, ok = s.randomHResident()
+	}
+	s.subScanHist.Since(t0)
+	return sub, ok
 }
 
 // randomHResident picks a uniformly random H-cache resident (only used by

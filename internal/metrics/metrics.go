@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -275,9 +276,16 @@ func (r RunStats) FinalTop5() float64 {
 }
 
 // Speedup reports how much faster r is than baseline on average epoch time.
+// Zero-denominator edges are defined rather than left to float division:
+// two zero-time runs are equally fast (1); a zero-time r against a real
+// baseline is infinitely faster (+Inf); a zero-time baseline against a real
+// r is a 0× "speedup".
 func Speedup(baseline, r RunStats) float64 {
 	b, v := baseline.AvgEpochTime(), r.AvgEpochTime()
 	if v == 0 {
+		if b == 0 {
+			return 1
+		}
 		return math.Inf(1)
 	}
 	return float64(b) / float64(v)
@@ -327,13 +335,18 @@ func (s Series) Max() float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank on a
-// sorted copy.
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest order statistics on a sorted copy (the
+// "inclusive" / numpy-default method: fractional rank p/100·(n−1)). This is
+// the same convention obs.HistSnapshot.Quantile uses inside a histogram
+// bucket, so the two estimators agree to within one bucket's width on the
+// same data — a consistency the cross-package test in internal/obs pins.
+// Out-of-range p clamps; an empty series reports 0; NaN p is treated as 0.
 func (s Series) Percentile(p float64) float64 {
 	if len(s) == 0 {
 		return 0
 	}
-	if p < 0 {
+	if p < 0 || math.IsNaN(p) {
 		p = 0
 	}
 	if p > 100 {
@@ -341,9 +354,27 @@ func (s Series) Percentile(p float64) float64 {
 	}
 	sorted := append(Series(nil), s...)
 	sort.Float64s(sorted)
-	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if rank < 0 {
-		rank = 0
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
 	}
-	return sorted[rank]
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// SnapshotUnder copies *v while holding mu — the one way every stats
+// struct in the repo is snapshotted for reading. Counter owners mutate
+// their struct under a lock; readers that copy it without that lock race
+// with Add (the PR-3 listener-field pattern). Routing reads through this
+// helper makes the copy-under-lock discipline greppable and impossible to
+// get subtly wrong at each call site.
+func SnapshotUnder[T any](mu sync.Locker, v *T) T {
+	mu.Lock()
+	defer mu.Unlock()
+	return *v
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -108,6 +109,97 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
+// TestRatioGuards table-tests every ratio-style metric against
+// zero-denominator / empty-input edges: no NaN, no surprise Inf.
+func TestRatioGuards(t *testing.T) {
+	t.Run("Speedup", func(t *testing.T) {
+		real := RunStats{Epochs: []EpochStats{{Duration: time.Second}}}
+		cases := []struct {
+			name    string
+			b, r    RunStats
+			want    float64
+			wantInf bool
+		}{
+			{name: "both-empty", b: RunStats{}, r: RunStats{}, want: 1},
+			{name: "zero-baseline", b: RunStats{}, r: real, want: 0},
+			{name: "zero-run", b: real, r: RunStats{}, wantInf: true},
+			{name: "both-real", b: real, r: real, want: 1},
+		}
+		for _, c := range cases {
+			got := Speedup(c.b, c.r)
+			if math.IsNaN(got) {
+				t.Errorf("%s: Speedup is NaN", c.name)
+			}
+			if c.wantInf && !math.IsInf(got, 1) {
+				t.Errorf("%s: Speedup = %g, want +Inf", c.name, got)
+			}
+			if !c.wantInf && got != c.want {
+				t.Errorf("%s: Speedup = %g, want %g", c.name, got, c.want)
+			}
+		}
+	})
+	t.Run("HitRatio", func(t *testing.T) {
+		cases := []struct {
+			name string
+			s    CacheStats
+			want float64
+		}{
+			{name: "zero", s: CacheStats{}, want: 0},
+			{name: "all-hits", s: CacheStats{Hits: 4}, want: 1},
+			{name: "mixed", s: CacheStats{Hits: 1, Substitutions: 1, Misses: 1, Degraded: 1}, want: 0.5},
+		}
+		for _, c := range cases {
+			if got := c.s.HitRatio(); got != c.want || math.IsNaN(got) {
+				t.Errorf("%s: HitRatio = %g, want %g", c.name, got, c.want)
+			}
+		}
+	})
+	t.Run("BufferReuseRate", func(t *testing.T) {
+		cases := []struct {
+			name string
+			s    ServingStats
+			want float64
+		}{
+			{name: "zero", s: ServingStats{}, want: 0},
+			{name: "all-allocs", s: ServingStats{BufferGets: 3, BufferAllocs: 3}, want: 0},
+			{name: "half", s: ServingStats{BufferGets: 4, BufferAllocs: 2}, want: 0.5},
+		}
+		for _, c := range cases {
+			if got := c.s.BufferReuseRate(); got != c.want || math.IsNaN(got) {
+				t.Errorf("%s: BufferReuseRate = %g, want %g", c.name, got, c.want)
+			}
+		}
+	})
+	t.Run("Percentile", func(t *testing.T) {
+		var empty Series
+		for _, p := range []float64{-10, 0, 50, 100, 200, math.NaN()} {
+			if got := empty.Percentile(p); got != 0 {
+				t.Errorf("empty.Percentile(%g) = %g, want 0", p, got)
+			}
+		}
+		one := Series{7}
+		for _, p := range []float64{0, 33, 100, math.NaN()} {
+			if got := one.Percentile(p); got != 7 {
+				t.Errorf("one.Percentile(%g) = %g, want 7", p, got)
+			}
+		}
+	})
+}
+
+func TestSnapshotUnder(t *testing.T) {
+	var mu sync.Mutex
+	src := CacheStats{Hits: 2, Misses: 1}
+	got := SnapshotUnder(&mu, &src)
+	if got != src {
+		t.Fatalf("SnapshotUnder = %+v, want %+v", got, src)
+	}
+	// The helper must have released the lock.
+	if !mu.TryLock() {
+		t.Fatal("SnapshotUnder left the lock held")
+	}
+	mu.Unlock()
+}
+
 func TestSeriesSummaries(t *testing.T) {
 	s := Series{3, 1, 2}
 	if s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
@@ -121,8 +213,10 @@ func TestSeriesSummaries(t *testing.T) {
 
 func TestSeriesPercentile(t *testing.T) {
 	s := Series{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := s.Percentile(50); got != 5 {
-		t.Fatalf("P50 = %g, want 5", got)
+	// Linear interpolation between closest ranks: rank 0.5*(10-1) = 4.5
+	// lands midway between the 5th and 6th order statistics.
+	if got := s.Percentile(50); got != 5.5 {
+		t.Fatalf("P50 = %g, want 5.5", got)
 	}
 	if got := s.Percentile(100); got != 10 {
 		t.Fatalf("P100 = %g, want 10", got)

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"icache/internal/metrics"
+)
+
+// TestQuantileMatchesSeriesPercentile pins the documented consistency
+// between the two quantile estimators in the repo: metrics.Series.Percentile
+// (exact, linear interpolation between order statistics) and
+// HistSnapshot.Quantile (same interpolation inside a log-scaled bucket).
+// On identical data the histogram estimate must land within the bucket
+// that holds the exact percentile — i.e. within a factor of two, the
+// histogram's resolution.
+func TestQuantileMatchesSeriesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(2000)
+		h := NewHistogram()
+		series := make(metrics.Series, 0, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform latencies, 1µs .. ~1s: the shape real stage
+			// timings have.
+			d := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(21))) * (1 + rng.Float64()))
+			h.Record(d)
+			series = append(series, float64(d))
+		}
+		snap := h.Snapshot()
+		for _, p := range []float64{10, 50, 90, 95, 99} {
+			exact := series.Percentile(p)
+			est := float64(snap.Quantile(p / 100))
+			if est < exact/2-1 || est > exact*2+1 {
+				t.Fatalf("trial %d: p%g histogram estimate %g outside factor-2 band of exact %g",
+					trial, p, est, exact)
+			}
+		}
+		// The endpoints agree more tightly: p100 is exactly the max.
+		if got, want := float64(snap.Quantile(1)), series.Percentile(100); got != want {
+			t.Fatalf("trial %d: p100 estimate %g != exact max %g", trial, got, want)
+		}
+	}
+}

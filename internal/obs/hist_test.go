@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{1 << 50, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for k := 1; k < NumBuckets; k++ {
+		lo, hi := bucketLower(k), BucketUpper(k)
+		if bucketIndex(time.Duration(lo)) != k || bucketIndex(time.Duration(hi)) != k {
+			t.Fatalf("bucket %d bounds [%d,%d] do not map back to bucket %d", k, lo, hi, k)
+		}
+	}
+}
+
+func TestNilHistogramIsNoOp(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Millisecond) // must not panic
+	h.Since(time.Now())
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+	var r *Registry
+	if r.Hist("x") != nil {
+		t.Fatal("nil registry handed out a non-nil histogram")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestRecordSnapshotBasics(t *testing.T) {
+	h := NewHistogram()
+	var sum time.Duration
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		d := time.Duration(i) * time.Microsecond
+		h.Record(d)
+		sum += d
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if time.Duration(s.Sum) != sum {
+		t.Fatalf("sum = %d, want %d", s.Sum, sum)
+	}
+	if s.Max() != n*time.Microsecond {
+		t.Fatalf("max = %s, want %s", s.Max(), n*time.Microsecond)
+	}
+	// Quantiles must be monotone and bounded by [0, max].
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %.2f = %s < previous %s (non-monotone)", q, v, prev)
+		}
+		if v < 0 || v > s.Max() {
+			t.Fatalf("quantile %.2f = %s outside [0, %s]", q, v, s.Max())
+		}
+		prev = v
+	}
+	// The median of 1..1000 µs is ~500 µs; bucket resolution is a factor of
+	// two, so the estimate must land within [250 µs, 1 ms].
+	if p50 := s.P50(); p50 < 250*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 = %s, want within [250µs, 1ms]", p50)
+	}
+}
+
+// TestMergeQuantilesBounded is the merge property test: for any two
+// recorded histograms, every quantile of merge(a,b) lies within the
+// interval spanned by the inputs' same-rank quantiles, widened by one
+// bucket (factor of two) for estimator resolution.
+func TestMergeQuantilesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a, b := NewHistogram(), NewHistogram()
+		for i, h := range []*Histogram{a, b} {
+			n := 1 + rng.Intn(500)
+			scale := time.Duration(1+rng.Intn(1000*(i+1))) * time.Microsecond
+			for j := 0; j < n; j++ {
+				h.Record(time.Duration(rng.Int63n(int64(scale) + 1)))
+			}
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		m := Merge(sa, sb)
+		if m.Count != sa.Count+sb.Count || m.Sum != sa.Sum+sb.Sum {
+			t.Fatalf("trial %d: merged count/sum mismatch", trial)
+		}
+		if m.Max() != maxDur(sa.Max(), sb.Max()) {
+			t.Fatalf("trial %d: merged max %s, want %s", trial, m.Max(), maxDur(sa.Max(), sb.Max()))
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			qa, qb, qm := sa.Quantile(q), sb.Quantile(q), m.Quantile(q)
+			lo, hi := minDur(qa, qb), maxDur(qa, qb)
+			if qm < lo/2 || qm > hi*2+1 {
+				t.Fatalf("trial %d: merged q%.2f = %s outside [%s/2, %s*2]", trial, q, qm, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if m := Merge(s, HistSnapshot{}); m != s {
+		t.Fatalf("merge with empty changed snapshot: %+v vs %+v", m, s)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean not zero")
+	}
+}
+
+// TestConcurrentRecord drives parallel recorders (run under -race by the
+// Makefile's test-race target) and checks conservation of count and sum.
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestRegistryStableOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Hist(name).Record(time.Millisecond)
+	}
+	if a, b := r.Hist("alpha"), r.Hist("alpha"); a != b {
+		t.Fatal("Hist not idempotent")
+	}
+	snap := r.Snapshot()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(want))
+	}
+	for i, ns := range snap {
+		if ns.Name != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, ns.Name, want[i])
+		}
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -11,8 +11,10 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/icache"
+	"icache/internal/obs"
 	"icache/internal/sampling"
 	"icache/internal/storage"
+	"icache/internal/trace"
 )
 
 // slowSource wraps a ByteSource with a fixed per-fetch service time,
@@ -91,6 +93,92 @@ func BenchmarkServeConcurrent(b *testing.B) {
 					b.Fatal(err)
 				}
 				defer c.Close()
+				conns[i] = c
+			}
+
+			b.ResetTimer()
+			var next int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(i)*1299709 + 1))
+					ids := make([]dataset.SampleID, batchSize)
+					for atomic.AddInt64(&next, 1) <= int64(b.N) {
+						for j := range ids {
+							ids[j] = dataset.SampleID(rng.Intn(spec.NumSamples))
+						}
+						if _, err := conns[i].GetBatch(ids); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead pins the cost of the observability layer on the
+// concurrent serving path. Three configurations run the exact workload of
+// BenchmarkServeConcurrent/clients=8:
+//
+//	off:    no registry, no tracer — the nil-recorder fast path. This must
+//	        match BenchmarkServeConcurrent/clients=8 (it is the same code).
+//	hists:  stage histograms armed (what -metrics-addr costs). Budget: the
+//	        samples/sec delta vs off stays within ~3% — the gated
+//	        time.Now() calls and striped histogram records are the only
+//	        additions.
+//	traced: histograms plus span recording with every request traced
+//	        (1-in-1 sampling, far denser than any production -trace-sample
+//	        setting), the worst case for envelope encode/decode cost.
+//
+// Archived via `make bench-obs` into BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	const (
+		batchSize      = 16
+		clients        = 8
+		backendLatency = 200 * time.Microsecond
+	)
+	for _, mode := range []string{"off", "hists", "traced"} {
+		b.Run(mode, func(b *testing.B) {
+			srv, addr, _ := benchServer(b, backendLatency)
+			spec := dataset.Spec{Name: "bench", NumSamples: 4096, MeanSampleBytes: 1024, Seed: 7}
+
+			var clientTrc *trace.Recorder
+			var sampler *obs.Sampler
+			switch mode {
+			case "hists":
+				srv.EnableObs(obs.NewRegistry(), nil)
+			case "traced":
+				srv.EnableObs(obs.NewRegistry(), trace.NewRecorder(1<<16))
+				clientTrc = trace.NewRecorder(1 << 16)
+				sampler = obs.NewSampler(1)
+			}
+
+			conns := make([]*Client, clients)
+			for i := range conns {
+				c, err := Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if clientTrc != nil {
+					c.EnableObs(nil, clientTrc, sampler)
+				}
 				conns[i] = c
 			}
 

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/obs"
 	"icache/internal/retry"
 	"icache/internal/sampling"
+	"icache/internal/trace"
 )
 
 // Client is the framework-side iCache client module (the role the paper's
@@ -36,6 +38,16 @@ type Client struct {
 
 	retries int64 // round trips that needed at least one retry
 	redials int64 // successful connection re-establishments
+
+	// Observability (EnableObs; all nil/zero when disabled). rtHist times
+	// whole round trips (retries included); tracer+sampler arm 1-in-N
+	// request tracing, with span timestamps measured from obsStart so the
+	// client's trace clock starts at dial like the server's starts at
+	// NewServer.
+	rtHist   *obs.Histogram
+	tracer   *trace.Recorder
+	sampler  *obs.Sampler
+	obsStart time.Time
 }
 
 // Dial connects to an iCache server with the default retry policy.
@@ -48,10 +60,11 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // a PRNG seeded deterministically per client so chaos tests replay.
 func DialPolicy(addr string, timeout time.Duration, policy retry.Policy) (*Client, error) {
 	c := &Client{
-		addr:    addr,
-		timeout: timeout,
-		policy:  policy,
-		rng:     rand.New(rand.NewSource(int64(len(addr))*0x9E37 + 1)),
+		addr:     addr,
+		timeout:  timeout,
+		policy:   policy,
+		rng:      rand.New(rand.NewSource(int64(len(addr))*0x9E37 + 1)),
+		obsStart: time.Now(),
 	}
 	err := retry.Do(policy, c.rng, c.sleep, func(int) error {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
@@ -91,6 +104,11 @@ func (c *Client) Resilience() (retries, redials int64) {
 func (c *Client) roundTrip(req []byte) (*reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var t0 time.Time
+	if c.rtHist != nil {
+		t0 = time.Now()
+		defer func() { c.rtHist.Since(t0) }()
+	}
 	var resp []byte
 	retried := false
 	err := retry.Do(c.policy, c.rng, c.sleep, func(attempt int) error {
@@ -154,8 +172,23 @@ func (c *Client) redial() error {
 // GetBatch fetches a mini-batch through the cache (the paper's rpc_loader
 // interface). The returned samples may carry different IDs than requested
 // when the server substituted missed L-samples.
+//
+// When client observability is armed (EnableObs) and the sampler fires,
+// the request travels inside a trace envelope and the client records the
+// hop-0 KindRPCSend span covering the full round trip.
 func (c *Client) GetBatch(ids []dataset.SampleID) ([]Sample, error) {
-	d, err := c.roundTrip(encodeGetBatchRequest(ids))
+	req := encodeGetBatchRequest(ids)
+	ctx := c.beginTrace()
+	var t0 time.Time
+	if ctx.Valid() {
+		req = WrapTraced(req, ctx.Next())
+		t0 = time.Now()
+	}
+	d, err := c.roundTrip(req)
+	if ctx.Valid() {
+		c.tracer.RecordSpan(time.Since(c.obsStart), trace.KindRPCSend, 0,
+			spanArgPeer, ctx.ID, ctx.Hop, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

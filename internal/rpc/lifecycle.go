@@ -111,9 +111,7 @@ func (s *Server) MembershipStats() metrics.MembershipStats {
 	if dist == nil {
 		return metrics.MembershipStats{}
 	}
-	dist.memMu.Lock()
-	defer dist.memMu.Unlock()
-	return dist.mem
+	return metrics.SnapshotUnder(&dist.memMu, &dist.mem)
 }
 
 // LastHeartbeat reports when the node last renewed its lease successfully
@@ -123,9 +121,7 @@ func (s *Server) LastHeartbeat() time.Time {
 	if dist == nil {
 		return time.Time{}
 	}
-	dist.memMu.Lock()
-	defer dist.memMu.Unlock()
-	return dist.lastBeat
+	return metrics.SnapshotUnder(&dist.memMu, &dist.lastBeat)
 }
 
 func (s *Server) membershipLoop() {

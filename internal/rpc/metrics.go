@@ -133,11 +133,20 @@ func (s *Server) Metrics() MetricsSnapshot {
 	return snap
 }
 
-// MetricsHandler serves the snapshot as JSON on GET /metrics (any path).
+// MetricsHandler serves the snapshot on GET /metrics (any path): JSON by
+// default (byte-compatible with previous releases), Prometheus text
+// exposition with ?format=prom.
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := s.WritePrometheus(w); err != nil && s.Logf != nil {
+				s.Logf("rpc: prometheus write: %v", err)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -9,7 +9,9 @@ import (
 	"icache/internal/dataset"
 	"icache/internal/dkv"
 	"icache/internal/metrics"
+	"icache/internal/obs"
 	"icache/internal/retry"
+	"icache/internal/trace"
 )
 
 // This file adds the distributed deployment of §III-E to the network
@@ -152,10 +154,21 @@ func (d *distState) closePeers() {
 // return reports whether the node had it; a miss is not an error (the
 // caller falls back to the backend).
 func (c *Client) PeerGet(id dataset.SampleID) ([]byte, bool, error) {
+	return c.PeerGetCtx(id, obs.TraceCtx{})
+}
+
+// PeerGetCtx is PeerGet carrying a trace context addressed to the peer
+// (the caller passes its own context's Next()). A zero context sends the
+// plain, envelope-free request.
+func (c *Client) PeerGetCtx(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, bool, error) {
 	var e buffer
 	e.u8(opPeerGet)
 	e.i64(int64(id))
-	d, err := c.roundTrip(e.payload())
+	req := e.payload()
+	if ctx.Valid() {
+		req = WrapTraced(req, ctx)
+	}
+	d, err := c.roundTrip(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -168,8 +181,13 @@ func (c *Client) PeerGet(id dataset.SampleID) ([]byte, bool, error) {
 
 // handlePeerGet serves opPeerGet: payload-store lookup only — peer reads
 // must not mutate this node's cache policy state, and they never take
-// policyMu (shard read lock only).
-func (s *Server) handlePeerGet(d *reader, e *buffer) {
+// policyMu (shard read lock only). Traced peer reads record a KindRPCRecv
+// span at this node's hop.
+func (s *Server) handlePeerGet(d *reader, e *buffer, ctx obs.TraceCtx) {
+	var t0 time.Time
+	if s.obs.tracing(ctx) {
+		t0 = time.Now()
+	}
 	id := dataset.SampleID(d.i64())
 	if err := d.err(); err != nil {
 		encodeErrorResponseInto(e, err.Error())
@@ -182,23 +200,40 @@ func (s *Server) handlePeerGet(d *reader, e *buffer) {
 	e.u8(statusOK)
 	if !ok {
 		e.u8(0)
-		return
+	} else {
+		e.u8(1)
+		e.bytes(payload)
 	}
-	e.u8(1)
-	e.bytes(payload)
+	if !t0.IsZero() {
+		s.span(trace.KindRPCRecv, id, 1, ctx, time.Since(t0))
+	}
 }
 
 // resolveRemote tries to serve a payload from the owning peer's cache.
 // Any failure along the way — directory unreachable, peer dial failure,
 // peer read failure — is counted and degrades to (nil, false), which sends
 // the caller to the backend. Must be called with no server lock held (see
-// the locking contract at the top of this file).
-func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
+// the locking contract at the top of this file). ctx traces the directory
+// lookup and peer read as KindRPCSend spans at this node's hop; both are
+// also timed into the dir_lookup / peer_rpc stage histograms — including
+// failed attempts, since slow failures are exactly what an operator hunts.
+func (s *Server) resolveRemote(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, bool) {
 	dist := s.dist
 	if dist == nil {
 		return nil, false
 	}
-	owner, found, err := dist.dir.Lookup(id)
+	measure := s.obs.histsOn() || s.obs.tracing(ctx)
+
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
+	owner, found, err := s.dirLookup(dist, id, ctx)
+	if measure {
+		dur := time.Since(t0)
+		s.obs.dirLookup.Record(dur)
+		s.span(trace.KindRPCSend, id, spanArgDir, ctx, dur)
+	}
 	if err != nil {
 		atomic.AddInt64(&dist.dirFailures, 1)
 		return nil, false
@@ -211,7 +246,16 @@ func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 		atomic.AddInt64(&dist.peerFailures, 1)
 		return nil, false
 	}
-	payload, ok, err := peer.PeerGet(id)
+	var t1 time.Time
+	if measure {
+		t1 = time.Now()
+	}
+	payload, ok, err := peer.PeerGetCtx(id, ctx.Next())
+	if measure {
+		dur := time.Since(t1)
+		s.obs.peerRPC.Record(dur)
+		s.span(trace.KindRPCSend, id, spanArgPeer, ctx, dur)
+	}
 	if err != nil {
 		atomic.AddInt64(&dist.peerFailures, 1)
 		dist.dropPeer(owner, peer)
@@ -222,6 +266,21 @@ func (s *Server) resolveRemote(id dataset.SampleID) ([]byte, bool) {
 	}
 	atomic.AddInt64(&dist.peerHits, 1)
 	return payload, true
+}
+
+// dirLookup asks the directory who owns id, forwarding the trace context
+// when both the request is traced and the directory service supports it
+// (*dkv.DirClient does; in-process and fault-injecting directories fall
+// back to the plain lookup).
+func (s *Server) dirLookup(dist *distState, id dataset.SampleID, ctx obs.TraceCtx) (dkv.NodeID, bool, error) {
+	if ctx.Valid() {
+		if td, ok := dist.dir.(interface {
+			LookupTraced(dataset.SampleID, obs.TraceCtx) (dkv.NodeID, bool, error)
+		}); ok {
+			return td.LookupTraced(id, ctx.Next())
+		}
+	}
+	return dist.dir.Lookup(id)
 }
 
 // claimOwnership registers this node in the directory for a sample it just

@@ -3,8 +3,10 @@ package rpc
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/obs"
 )
 
 // prefetcher is the bounded asynchronous prefetch worker pool of the
@@ -26,9 +28,17 @@ import (
 // with no locks held and share the server's singleflight group, so a
 // prefetch and a foreground miss for the same sample coalesce into one
 // backend read.
+// prefetchItem is one queued delivery: the sample plus its enqueue instant
+// (zero unless stage histograms are enabled), so the worker can record the
+// prefetch_queue_wait stage without any clock reads on the disabled path.
+type prefetchItem struct {
+	id dataset.SampleID
+	at time.Time
+}
+
 type prefetcher struct {
 	s       *Server
-	q       chan dataset.SampleID
+	q       chan prefetchItem
 	workers int
 
 	wg       sync.WaitGroup
@@ -48,7 +58,7 @@ type prefetcher struct {
 func newPrefetcher(s *Server, workers int) *prefetcher {
 	p := &prefetcher{
 		s:       s,
-		q:       make(chan dataset.SampleID, workers*64),
+		q:       make(chan prefetchItem, workers*64),
 		workers: workers,
 		done:    make(chan struct{}),
 	}
@@ -67,8 +77,12 @@ func (p *prefetcher) enqueue(id dataset.SampleID) {
 		return
 	default:
 	}
+	it := prefetchItem{id: id}
+	if p.s.obs.histsOn() {
+		it.at = time.Now()
+	}
 	select {
-	case p.q <- id:
+	case p.q <- it:
 		atomic.AddInt64(&p.queued, 1)
 	default:
 		atomic.AddInt64(&p.dropped, 1)
@@ -81,12 +95,14 @@ func (p *prefetcher) worker() {
 		select {
 		case <-p.done:
 			return
-		case id := <-p.q:
+		case it := <-p.q:
+			p.s.obs.prefetchWt.Since(it.at)
+			id := it.id
 			if _, ok := p.s.payloads.get(id); ok {
 				atomic.AddInt64(&p.completed, 1)
 				continue
 			}
-			if _, err := p.s.resolvePayload(id); err != nil {
+			if _, err := p.s.resolvePayload(id, obs.TraceCtx{}); err != nil {
 				// Best effort: a failed prefetch is not a serving error —
 				// the sample will be fetched (with retries as configured)
 				// when a client actually asks for it.

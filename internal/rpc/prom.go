@@ -1,0 +1,104 @@
+package rpc
+
+import (
+	"io"
+	"time"
+
+	"icache/internal/obs"
+)
+
+// This file renders the server's full metrics surface in Prometheus text
+// exposition format (stdlib-only, via obs.PromWriter). The JSON view
+// (MetricsSnapshot) stays byte-compatible for dashboards that already
+// scrape it; the Prometheus view is richer — it renders the *raw* stats
+// families, including fields the JSON document never carried (Degraded,
+// Rejections, the full membership lifecycle counters), plus every
+// registered per-stage latency histogram.
+//
+// Family ordering is fixed code order and each family's lines are
+// deterministic, so a scrape is byte-stable for unchanged counters — the
+// exposition golden test pins the exact bytes.
+
+// WritePrometheus writes the Prometheus text exposition of every metrics
+// family: cache counters and occupancy, loader traffic, peer/distribution
+// counters, resilience failure counters, membership lifecycle counters,
+// concurrent-serving-path counters, and (when EnableObs ran) the
+// per-stage latency histograms with p50/p95/p99 companion gauges.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+
+	s.policyMu.Lock()
+	st := s.cache.Stats()
+	hLen, lLen, t2Len := s.cache.HCacheLen(), s.cache.LCacheLen(), s.cache.Tier2Len()
+	pkgs := s.cache.PackagesLoaded()
+	useful, wasted := s.cache.LoaderUsefulBytes(), s.cache.LoaderWastedBytes()
+	t2Hits := s.cache.Tier2Hits()
+	s.policyMu.Unlock()
+
+	p.Gauge("icache_uptime_seconds", "seconds since the server started", time.Since(s.start).Seconds())
+
+	// Cache family (metrics.CacheStats + occupancy).
+	p.Counter("icache_cache_hits_total", "requests served from cached copies of the requested sample", float64(st.Hits))
+	p.Counter("icache_cache_misses_total", "requests that went to backend storage", float64(st.Misses))
+	p.Counter("icache_cache_substitutions_total", "requests served by a different cached sample", float64(st.Substitutions))
+	p.Counter("icache_cache_degraded_total", "requests that fell back to the backend because a fault broke the preferred path", float64(st.Degraded))
+	p.Counter("icache_cache_inserts_total", "samples admitted into the cache", float64(st.Inserts))
+	p.Counter("icache_cache_evictions_total", "samples evicted to make room", float64(st.Evictions))
+	p.Counter("icache_cache_rejections_total", "fetched samples the policy declined to admit", float64(st.Rejections))
+	p.Counter("icache_cache_requests_total", "total sample requests (hits+misses+substitutions+degraded)", float64(st.Requests()))
+	p.Gauge("icache_cache_hit_ratio", "fraction of requests served from memory (0 when no requests yet)", st.HitRatio())
+	p.Gauge("icache_hcache_len", "samples resident in the H-cache region", float64(hLen))
+	p.Gauge("icache_lcache_len", "samples resident in the L-cache region", float64(lLen))
+	p.Gauge("icache_tier2_len", "samples spilled to the tier-2 region", float64(t2Len))
+	p.Gauge("icache_payload_len", "payloads resident in the byte store", float64(s.payloads.len()))
+
+	// Loader family.
+	p.Counter("icache_loader_packages_total", "dynamic packages loaded by the background loader", float64(pkgs))
+	p.Counter("icache_loader_useful_bytes_total", "loaded bytes that were requested before eviction", float64(useful))
+	p.Counter("icache_loader_wasted_bytes_total", "loaded bytes evicted unused", float64(wasted))
+	p.Counter("icache_tier2_hits_total", "misses served from the tier-2 spill region", float64(t2Hits))
+
+	// Peer / resilience family (distribution disabled renders zeros).
+	peerServes, peerHits := s.PeerStats()
+	peerFailures, dirFailures := s.ResilienceStats()
+	p.Counter("icache_peer_serves_total", "requests this node answered for peers", float64(peerServes))
+	p.Counter("icache_peer_hits_total", "local misses served from a peer's cache", float64(peerHits))
+	p.Counter("icache_resilience_peer_failures_total", "peer dials/reads that failed and were degraded around", float64(peerFailures))
+	p.Counter("icache_resilience_dir_failures_total", "directory operations that failed and were degraded around", float64(dirFailures))
+
+	// Membership family (metrics.MembershipStats; zeros unless
+	// StartMembership ran).
+	mem := s.MembershipStats()
+	p.Counter("icache_membership_registers_total", "lease grants (first registrations and re-registrations)", float64(mem.Registers))
+	p.Counter("icache_membership_heartbeats_total", "successful lease renewals", float64(mem.Heartbeats))
+	p.Counter("icache_membership_heartbeat_rejects_total", "heartbeats arriving at/after lease expiry", float64(mem.HeartbeatRejects))
+	p.Counter("icache_membership_suspects_total", "observed Live to Suspect transitions", float64(mem.Suspects))
+	p.Counter("icache_membership_deaths_total", "observed transitions to Dead", float64(mem.Deaths))
+	p.Counter("icache_membership_revivals_total", "registrations that revived a Suspect/Dead node", float64(mem.Revivals))
+	p.Counter("icache_membership_reclaims_total", "claims that took over a Dead node's entry", float64(mem.Reclaims))
+	p.Counter("icache_membership_purged_total", "Dead-owned directory entries garbage-collected", float64(mem.Purged))
+	p.Counter("icache_membership_scrub_sweeps_total", "anti-entropy sweeps completed", float64(mem.ScrubSweeps))
+	p.Counter("icache_membership_scrub_released_total", "orphaned directory entries released", float64(mem.ScrubReleased))
+	p.Counter("icache_membership_scrub_reclaimed_total", "cached-but-unregistered samples re-claimed", float64(mem.ScrubReclaimed))
+	p.Counter("icache_membership_scrub_dropped_total", "local copies dropped because another node owns the sample", float64(mem.ScrubDropped))
+	p.Counter("icache_membership_replayed_claims_total", "ownership claims replayed from a checkpoint on rejoin", float64(mem.ReplayedClaims))
+	p.Counter("icache_membership_replay_denied_total", "replayed claims denied (the survivor won)", float64(mem.ReplayDenied))
+
+	// Concurrent-serving-path family (metrics.ServingStats).
+	sv := s.ServingStats()
+	p.Counter("icache_serving_coalesced_misses_total", "miss fetches that joined an in-flight fetch for the same sample", float64(sv.CoalescedMisses))
+	p.Counter("icache_prefetch_queued_total", "loader-delivered samples accepted by the prefetch pool", float64(sv.PrefetchQueued))
+	p.Counter("icache_prefetch_completed_total", "prefetches that finished", float64(sv.PrefetchCompleted))
+	p.Counter("icache_prefetch_dropped_total", "deliveries discarded because the prefetch queue was full", float64(sv.PrefetchDropped))
+	p.Counter("icache_prefetch_failed_total", "prefetch fetches that errored (sample stays lazy)", float64(sv.PrefetchFailed))
+	p.Gauge("icache_prefetch_queue_depth", "current prefetch backlog", float64(sv.PrefetchQueueDepth))
+	p.Gauge("icache_prefetch_workers", "configured prefetch pool size", float64(sv.PrefetchWorkers))
+	p.Counter("icache_buffer_pool_gets_total", "pooled-buffer checkouts on the wire path", float64(sv.BufferGets))
+	p.Counter("icache_buffer_pool_allocs_total", "checkouts that had to allocate (pool miss)", float64(sv.BufferAllocs))
+	p.Gauge("icache_buffer_reuse_rate", "fraction of checkouts served without allocating (0 when none yet)", sv.BufferReuseRate())
+
+	// Per-stage latency histograms (nil registry emits nothing).
+	p.Registry("icache_stage", s.obs.reg)
+
+	return p.Err()
+}

@@ -63,6 +63,10 @@ func (d *reader) bytes() []byte { return d.BytesField() }
 func (d *reader) str() string   { return d.Str() }
 func (d *reader) err() error    { return d.Err }
 
+// rest returns the undecoded remainder of the payload (aliasing it) — the
+// inner request bytes of an opTraced envelope.
+func (d *reader) rest() []byte { return d.B[d.Off:] }
+
 // encodeGetBatchRequest/decode pair.
 func encodeGetBatchRequest(ids []dataset.SampleID) []byte {
 	var e buffer

@@ -11,9 +11,11 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/icache"
+	"icache/internal/obs"
 	"icache/internal/sampling"
 	"icache/internal/simclock"
 	"icache/internal/singleflight"
+	"icache/internal/trace"
 	"icache/internal/wire"
 )
 
@@ -88,6 +90,12 @@ type Server struct {
 
 	// dist holds the §III-E distributed wiring (nil on a lone server).
 	dist *distState
+
+	// obs holds the optional observability wiring — per-stage latency
+	// histograms, span tracing, slow-request log (see obs.go). Configure
+	// via EnableObs / SetSlowRequestLog before Serve; the serving path
+	// reads these fields without synchronization.
+	obs serverObs
 
 	// Logf sinks server logs; defaults to log.Printf. Tests may silence it.
 	Logf func(format string, args ...interface{})
@@ -258,21 +266,55 @@ func (s *Server) dispatch(req []byte) []byte {
 // reused by the caller after dispatchInto returns, so no slice of req is
 // retained (decoders copy what they keep).
 func (s *Server) dispatchInto(req []byte, e *buffer) {
+	s.dispatchCtx(req, e, obs.TraceCtx{})
+}
+
+// dispatchCtx is dispatchInto carrying the request's trace context (zero
+// when untraced). The opTraced envelope re-enters here exactly once:
+// nested envelopes are rejected, so recursion depth is bounded at one.
+func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
 	d := newReader(req)
 	op := d.u8()
 	switch op {
+	case opTraced:
+		if ctx.Valid() {
+			encodeErrorResponseInto(e, "rpc: nested trace envelope")
+			return
+		}
+		id := uint64(d.i64())
+		hop := d.u8()
+		if err := d.err(); err != nil {
+			encodeErrorResponseInto(e, err.Error())
+			return
+		}
+		inner := obs.TraceCtx{ID: id, Hop: hop}
+		if !inner.Valid() {
+			encodeErrorResponseInto(e, "rpc: trace envelope with zero trace id")
+			return
+		}
+		s.dispatchCtx(d.rest(), e, inner)
 	case opGetBatch:
+		var t0 time.Time
+		if s.obs.histsOn() || s.obs.tracing(ctx) || s.obs.slowThresh > 0 {
+			t0 = time.Now()
+		}
 		ids, err := decodeGetBatchRequest(d)
 		if err != nil {
 			encodeErrorResponseInto(e, err.Error())
 			return
 		}
-		samples, err := s.getBatch(ids)
+		samples, err := s.getBatch(ids, ctx)
 		if err != nil {
 			encodeErrorResponseInto(e, err.Error())
 			return
 		}
 		encodeGetBatchResponseInto(e, samples)
+		if !t0.IsZero() {
+			dur := time.Since(t0)
+			s.obs.request.Record(dur)
+			s.span(trace.KindRPCRecv, 0, int64(len(ids)), ctx, dur)
+			s.maybeLogSlow(ctx, len(ids), dur)
+		}
 	case opUpdateImportance:
 		items, err := decodeUpdateImportanceRequest(d)
 		if err != nil {
@@ -305,7 +347,7 @@ func (s *Server) dispatchInto(req []byte, e *buffer) {
 	case opPing:
 		e.u8(statusOK)
 	case opPeerGet:
-		s.handlePeerGet(d, e)
+		s.handlePeerGet(d, e, ctx)
 	default:
 		encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
 	}
@@ -315,8 +357,10 @@ func (s *Server) dispatchInto(req []byte, e *buffer) {
 // payloads: cached bytes for residents, freshly fetched bytes otherwise
 // (stored if the policy admitted the sample). The policy decision is a
 // short critical section under policyMu; all byte fetching happens outside
-// any lock, coalesced per sample.
-func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
+// any lock, coalesced per sample. ctx is the request's trace context (zero
+// when untraced); stage timings record into the obs histograms when
+// enabled.
+func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, error) {
 	spec := s.source.Spec()
 	for _, id := range ids {
 		if !spec.Contains(id) {
@@ -324,16 +368,28 @@ func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
 		}
 	}
 
+	histsOn := s.obs.histsOn()
 	s.policyMu.Lock()
+	var tLock time.Time
+	if histsOn {
+		tLock = time.Now()
+	}
 	_, served := s.cache.FetchBatch(s.now(), ids)
 	s.policyMu.Unlock()
+	s.obs.policyLock.Since(tLock)
 
 	out := make([]Sample, 0, len(served))
 	for _, id := range served {
+		var tHit time.Time
+		if histsOn {
+			tHit = time.Now()
+		}
 		payload, ok := s.payloads.get(id)
-		if !ok {
+		if ok {
+			s.obs.localHit.Since(tHit)
+		} else {
 			var err error
-			payload, err = s.resolvePayload(id)
+			payload, err = s.resolvePayload(id, ctx)
 			if err != nil {
 				return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
 			}
@@ -347,8 +403,15 @@ func (s *Server) getBatch(ids []dataset.SampleID) ([]Sample, error) {
 // the store, without holding any lock. Concurrent misses on the same
 // sample — from request goroutines or the prefetch pool — are coalesced:
 // one goroutine runs the fetch (peer cache first in distributed mode, then
-// the backend), the rest wait and share its result.
-func (s *Server) resolvePayload(id dataset.SampleID) ([]byte, error) {
+// the backend), the rest wait and share its result. ctx is the trace
+// context of the request driving this fetch (zero for untraced requests
+// and prefetch work); when a traced request joins another request's
+// in-flight fetch, the executing request's context owns the spans.
+func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, error) {
+	var tWait time.Time
+	if s.obs.histsOn() {
+		tWait = time.Now()
+	}
 	payload, err, shared := s.flight.Do(int64(id), func() ([]byte, error) {
 		// Re-check under the flight lock's happens-before edge: a racing
 		// fetch may have filled the store between our miss and our turn.
@@ -357,7 +420,7 @@ func (s *Server) resolvePayload(id dataset.SampleID) ([]byte, error) {
 		}
 		// A peer's cache is cheaper than the backend (§III-E flow:
 		// local cache → directory → remote cache → storage).
-		if remote, ok := s.resolveRemote(id); ok {
+		if remote, ok := s.resolveRemote(id, ctx); ok {
 			// Owned elsewhere: this node must not keep a duplicate.
 			s.policyMu.Lock()
 			if s.cache.Drop(id) {
@@ -366,7 +429,16 @@ func (s *Server) resolvePayload(id dataset.SampleID) ([]byte, error) {
 			s.policyMu.Unlock()
 			return remote, nil
 		}
+		var tFetch time.Time
+		if s.obs.histsOn() || s.obs.tracing(ctx) {
+			tFetch = time.Now()
+		}
 		p, err := s.source.Fetch(id)
+		if !tFetch.IsZero() {
+			dur := time.Since(tFetch)
+			s.obs.backend.Record(dur)
+			s.span(trace.KindBackend, id, 0, ctx, dur)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -375,6 +447,9 @@ func (s *Server) resolvePayload(id dataset.SampleID) ([]byte, error) {
 	})
 	if shared {
 		atomic.AddInt64(&s.coalescedMisses, 1)
+		// Only shared callers waited on someone else's fetch; the executor's
+		// time is the backend/peer stage itself.
+		s.obs.sfWait.Since(tWait)
 	}
 	return payload, err
 }

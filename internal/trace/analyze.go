@@ -91,9 +91,12 @@ func topCounts(m map[dataset.SampleID]int, n int) []IDCount {
 	return out
 }
 
-// ReadCSV parses a trace dump produced by Recorder.WriteCSV.
+// ReadCSV parses a trace dump produced by Recorder.WriteCSV. Both the
+// pre-span 4-column format (at_ns,kind,id,arg) and the current 7-column
+// format (…,trace,hop,dur_ns) are accepted, so old dumps stay readable.
 func ReadCSV(r io.Reader) ([]Event, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // widths are validated per row below
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("trace: parse csv: %w", err)
@@ -101,14 +104,14 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trace: empty csv")
 	}
-	kindByName := map[string]Kind{}
-	for k := KindHit; k <= KindEpoch; k++ {
-		kindByName[k.String()] = k
+	kindByName := make(map[string]Kind, len(kindNames))
+	for i, name := range kindNames {
+		kindByName[name] = Kind(i)
 	}
 	var events []Event
 	for i, row := range rows[1:] {
-		if len(row) != 4 {
-			return nil, fmt.Errorf("trace: row %d has %d columns, want 4", i+2, len(row))
+		if len(row) != 4 && len(row) != 7 {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want 4 or 7", i+2, len(row))
 		}
 		at, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
@@ -126,7 +129,23 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: row %d arg: %w", i+2, err)
 		}
-		events = append(events, Event{At: time.Duration(at), Kind: kind, ID: dataset.SampleID(id), Arg: arg})
+		e := Event{At: time.Duration(at), Kind: kind, ID: dataset.SampleID(id), Arg: arg}
+		if len(row) == 7 {
+			traceID, err := strconv.ParseUint(row[4], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d trace: %w", i+2, err)
+			}
+			hop, err := strconv.ParseUint(row[5], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d hop: %w", i+2, err)
+			}
+			dur, err := strconv.ParseInt(row[6], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d dur_ns: %w", i+2, err)
+			}
+			e.TraceID, e.Hop, e.Dur = traceID, uint8(hop), time.Duration(dur)
+		}
+		events = append(events, e)
 	}
 	return events, nil
 }

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file reconstructs cross-node request chains from span-style events
+// (KindRPCSend / KindRPCRecv / KindBackend). Each traced request carries a
+// trace ID and a hop counter through the wire protocol; every node that
+// touches the request records spans tagged with both. Grouping by trace ID
+// and ordering by hop rebuilds the request's path:
+//
+//	hop 0  rpc_send   client's GetBatch round trip
+//	hop 1  rpc_recv   first cache node's serve time
+//	hop 1  rpc_send   that node's directory lookup / peer fetch
+//	hop 2  rpc_recv   peer owner's serve time
+//	hop N  backend    whichever node fell through to storage
+//
+// cmd/icache-trace renders the per-hop latency breakdown and the slowest
+// chains from this view.
+
+// Chain is one traced request's reconstructed hop sequence.
+type Chain struct {
+	// TraceID identifies the request chain (never 0 for a valid chain).
+	TraceID uint64
+	// Spans holds the chain's span events ordered by hop, then by kind
+	// (send before recv before backend within a hop), then by time.
+	Spans []Event
+	// Root is the outermost measured duration: the hop-0 rpc_send round
+	// trip when present, otherwise the longest span in the chain. This is
+	// what "slow" means when ranking chains.
+	Root time.Duration
+}
+
+// Hops reports the highest hop number seen in the chain.
+func (c *Chain) Hops() uint8 {
+	var max uint8
+	for _, s := range c.Spans {
+		if s.Hop > max {
+			max = s.Hop
+		}
+	}
+	return max
+}
+
+// spanKindOrder places sends before recvs before backend fetches within a
+// hop, mirroring the causal order in which a request passes through them.
+func spanKindOrder(k Kind) int {
+	switch k {
+	case KindRPCSend:
+		return 0
+	case KindRPCRecv:
+		return 1
+	case KindBackend:
+		return 2
+	}
+	return 3
+}
+
+// Chains groups the span events in events by trace ID and reconstructs
+// each request's hop chain. Untraced (TraceID == 0) and non-span events
+// are ignored. Chains are returned slowest-first (by Root), ties broken
+// by trace ID for determinism.
+func Chains(events []Event) []*Chain {
+	byID := make(map[uint64]*Chain)
+	var order []uint64
+	for _, e := range events {
+		if !e.Kind.IsSpan() || e.TraceID == 0 {
+			continue
+		}
+		c, ok := byID[e.TraceID]
+		if !ok {
+			c = &Chain{TraceID: e.TraceID}
+			byID[e.TraceID] = c
+			order = append(order, e.TraceID)
+		}
+		c.Spans = append(c.Spans, e)
+	}
+	chains := make([]*Chain, 0, len(order))
+	for _, id := range order {
+		c := byID[id]
+		sort.SliceStable(c.Spans, func(i, j int) bool {
+			a, b := c.Spans[i], c.Spans[j]
+			if a.Hop != b.Hop {
+				return a.Hop < b.Hop
+			}
+			if ka, kb := spanKindOrder(a.Kind), spanKindOrder(b.Kind); ka != kb {
+				return ka < kb
+			}
+			return a.At < b.At
+		})
+		for _, s := range c.Spans {
+			if s.Hop == 0 && s.Kind == KindRPCSend {
+				c.Root = s.Dur
+				break
+			}
+		}
+		if c.Root == 0 {
+			for _, s := range c.Spans {
+				if s.Dur > c.Root {
+					c.Root = s.Dur
+				}
+			}
+		}
+		chains = append(chains, c)
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		if chains[i].Root != chains[j].Root {
+			return chains[i].Root > chains[j].Root
+		}
+		return chains[i].TraceID < chains[j].TraceID
+	})
+	return chains
+}
+
+// HopStat aggregates all spans recorded at one (hop, kind) position across
+// every chain: how many requests passed through it and how long they spent.
+type HopStat struct {
+	Hop   uint8
+	Kind  Kind
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean is the average span duration at this position.
+func (h HopStat) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Total / time.Duration(h.Count)
+}
+
+// HopBreakdown aggregates the chains' spans into a per-(hop, kind) latency
+// table, ordered by hop then kind — the operator's view of where traced
+// requests spend their time as they cross nodes.
+func HopBreakdown(chains []*Chain) []HopStat {
+	type key struct {
+		hop  uint8
+		kind Kind
+	}
+	agg := make(map[key]*HopStat)
+	for _, c := range chains {
+		for _, s := range c.Spans {
+			k := key{s.Hop, s.Kind}
+			st, ok := agg[k]
+			if !ok {
+				st = &HopStat{Hop: s.Hop, Kind: s.Kind}
+				agg[k] = st
+			}
+			st.Count++
+			st.Total += s.Dur
+			if s.Dur > st.Max {
+				st.Max = s.Dur
+			}
+		}
+	}
+	out := make([]HopStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hop != out[j].Hop {
+			return out[i].Hop < out[j].Hop
+		}
+		return spanKindOrder(out[i].Kind) < spanKindOrder(out[j].Kind)
+	})
+	return out
+}
+
+// PrintSpans renders the hop breakdown table and, when slowN > 0, the
+// slowN slowest chains with their full hop sequences. It prints nothing
+// when the events carry no spans, so untraced dumps keep their old output.
+func PrintSpans(w io.Writer, chains []*Chain, slowN int) {
+	if len(chains) == 0 {
+		return
+	}
+	spans := 0
+	for _, c := range chains {
+		spans += len(c.Spans)
+	}
+	fmt.Fprintf(w, "traced chains: %d (%d spans)\n", len(chains), spans)
+	fmt.Fprintln(w, "per-hop latency breakdown:")
+	fmt.Fprintf(w, "  %-4s %-10s %8s %12s %12s\n", "hop", "kind", "count", "mean", "max")
+	for _, st := range HopBreakdown(chains) {
+		fmt.Fprintf(w, "  %-4d %-10s %8d %12s %12s\n",
+			st.Hop, st.Kind, st.Count, fmtDur(st.Mean()), fmtDur(st.Max))
+	}
+	if slowN <= 0 {
+		return
+	}
+	n := slowN
+	if n > len(chains) {
+		n = len(chains)
+	}
+	fmt.Fprintf(w, "slowest %d chains:\n", n)
+	for _, c := range chains[:n] {
+		fmt.Fprintf(w, "  trace %016x  total %s  hops %d\n", c.TraceID, fmtDur(c.Root), c.Hops())
+		for _, s := range c.Spans {
+			fmt.Fprintf(w, "    hop %-3d %-10s sample %-8d %s\n", s.Hop, s.Kind, s.ID, fmtDur(s.Dur))
+		}
+	}
+}
+
+// fmtDur rounds a duration to microsecond resolution for table alignment;
+// sub-microsecond spans keep full precision so they stay visible.
+func fmtDur(d time.Duration) string {
+	if d >= time.Millisecond {
+		return d.Round(10 * time.Microsecond).String()
+	}
+	if d >= time.Microsecond {
+		return d.Round(100 * time.Nanosecond).String()
+	}
+	return d.String()
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestSpanRoundTrip pins that RecordSpan → WriteCSV → ReadCSV preserves
+// the trace context and duration exactly.
+func TestSpanRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.RecordSpan(time.Millisecond, KindRPCSend, 3, 16, 0xdeadbeef, 2, 250*time.Microsecond)
+	r.Record(2*time.Millisecond, KindHit, 4, 0)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+	want := Event{At: time.Millisecond, Kind: KindRPCSend, ID: 3, Arg: 16,
+		TraceID: 0xdeadbeef, Hop: 2, Dur: 250 * time.Microsecond}
+	if events[0] != want {
+		t.Fatalf("span event = %+v, want %+v", events[0], want)
+	}
+	if events[1].TraceID != 0 || events[1].Dur != 0 {
+		t.Fatalf("classic event grew span fields: %+v", events[1])
+	}
+}
+
+// TestReadCSVLegacyWidth pins that pre-span 4-column dumps stay readable.
+func TestReadCSVLegacyWidth(t *testing.T) {
+	events, err := ReadCSV(strings.NewReader("at_ns,kind,id,arg\n1000,hit,7,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != KindHit || events[0].ID != 7 {
+		t.Fatalf("legacy decode = %+v", events)
+	}
+}
+
+func TestReadCSVRejectsSpanGarbage(t *testing.T) {
+	cases := []string{
+		"at_ns,kind,id,arg,trace,hop,dur_ns\n0,hit,1,0,zz--,0,0\n",     // bad trace hex
+		"at_ns,kind,id,arg,trace,hop,dur_ns\n0,hit,1,0,ab,999,0\n",     // hop > 255
+		"at_ns,kind,id,arg,trace,hop,dur_ns\n0,hit,1,0,ab,0,oops\n",    // bad dur
+		"at_ns,kind,id,arg,trace,hop,dur_ns\n0,hit,1,0,ab,0,0,extra\n", // 8 columns
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestChains reconstructs hop chains from a mixed event stream: grouping
+// by trace ID, causal ordering within a chain, slowest-first ranking, and
+// the hop-0 round trip as the chain's root duration.
+func TestChains(t *testing.T) {
+	events := []Event{
+		{At: 1, Kind: KindHit, ID: 5}, // ignored: not a span
+		{At: 2, Kind: KindRPCRecv, ID: 0, TraceID: 0, Hop: 1, Dur: time.Millisecond}, // ignored: untraced
+		{At: 10, Kind: KindRPCRecv, TraceID: 0xA, Hop: 1, Dur: 450 * time.Microsecond},
+		{At: 11, Kind: KindBackend, ID: 7, TraceID: 0xA, Hop: 2, Dur: 200 * time.Microsecond},
+		{At: 12, Kind: KindRPCRecv, ID: 7, TraceID: 0xA, Hop: 2, Dur: 250 * time.Microsecond},
+		{At: 13, Kind: KindRPCSend, ID: 7, TraceID: 0xA, Hop: 1, Dur: 300 * time.Microsecond},
+		{At: 14, Kind: KindRPCSend, TraceID: 0xA, Hop: 0, Dur: 500 * time.Microsecond},
+		{At: 20, Kind: KindRPCSend, TraceID: 0xB, Hop: 0, Dur: 100 * time.Microsecond},
+	}
+	chains := Chains(events)
+	if len(chains) != 2 {
+		t.Fatalf("%d chains, want 2", len(chains))
+	}
+	// Slowest first: chain A (root 500µs) before chain B (root 100µs).
+	if chains[0].TraceID != 0xA || chains[1].TraceID != 0xB {
+		t.Fatalf("chain order: %x, %x", chains[0].TraceID, chains[1].TraceID)
+	}
+	a := chains[0]
+	if a.Root != 500*time.Microsecond || a.Hops() != 2 || len(a.Spans) != 5 {
+		t.Fatalf("chain A: root=%v hops=%d spans=%d", a.Root, a.Hops(), len(a.Spans))
+	}
+	// Causal order: hop ascending; within a hop, send < recv < backend.
+	wantOrder := []struct {
+		hop  uint8
+		kind Kind
+	}{
+		{0, KindRPCSend}, {1, KindRPCSend}, {1, KindRPCRecv}, {2, KindRPCRecv}, {2, KindBackend},
+	}
+	for i, w := range wantOrder {
+		if a.Spans[i].Hop != w.hop || a.Spans[i].Kind != w.kind {
+			t.Fatalf("span %d = hop %d %s, want hop %d %s",
+				i, a.Spans[i].Hop, a.Spans[i].Kind, w.hop, w.kind)
+		}
+	}
+}
+
+// TestChainRootFallback: a chain with no hop-0 send (e.g. the client's
+// ring rolled over) ranks by its longest span instead.
+func TestChainRootFallback(t *testing.T) {
+	chains := Chains([]Event{
+		{Kind: KindRPCRecv, TraceID: 0xC, Hop: 1, Dur: 90 * time.Microsecond},
+		{Kind: KindBackend, TraceID: 0xC, Hop: 1, Dur: 70 * time.Microsecond},
+	})
+	if len(chains) != 1 || chains[0].Root != 90*time.Microsecond {
+		t.Fatalf("chains = %+v", chains)
+	}
+}
+
+func TestHopBreakdown(t *testing.T) {
+	chains := Chains([]Event{
+		{Kind: KindRPCSend, TraceID: 1, Hop: 0, Dur: 100},
+		{Kind: KindRPCSend, TraceID: 2, Hop: 0, Dur: 300},
+		{Kind: KindRPCRecv, TraceID: 1, Hop: 1, Dur: 80},
+	})
+	stats := HopBreakdown(chains)
+	if len(stats) != 2 {
+		t.Fatalf("%d rows, want 2", len(stats))
+	}
+	if stats[0].Hop != 0 || stats[0].Kind != KindRPCSend || stats[0].Count != 2 ||
+		stats[0].Mean() != 200 || stats[0].Max != 300 {
+		t.Fatalf("row 0 = %+v", stats[0])
+	}
+	if stats[1].Hop != 1 || stats[1].Kind != KindRPCRecv || stats[1].Count != 1 {
+		t.Fatalf("row 1 = %+v", stats[1])
+	}
+	if (HopStat{}).Mean() != 0 {
+		t.Fatal("empty HopStat mean != 0")
+	}
+}
+
+// TestPrintSpansEmpty: dumps without spans must print nothing, keeping
+// the analyzer's output unchanged for untraced runs.
+func TestPrintSpansEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSpans(&buf, nil, 5)
+	PrintSpans(&buf, Chains(analysisFixture()), 5)
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+// TestSpansGolden runs the full analyzer pipeline — ReadCSV, Analyze,
+// PrintSpans — over the canned testdata dump and compares the rendered
+// report byte-for-byte against the golden file. Run with -update to
+// regenerate.
+func TestSpansGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "spans.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Analyze(events, 3).Print(&buf)
+	PrintSpans(&buf, Chains(events), 2)
+
+	goldenPath := filepath.Join("testdata", "spans.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

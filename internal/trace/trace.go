@@ -39,40 +39,66 @@ const (
 	KindRefresh
 	// KindEpoch is an epoch boundary.
 	KindEpoch
+
+	// Span-style kinds (PR 4): events carrying a cross-node trace context
+	// (trace ID + hop) and a measured duration, recorded by the network
+	// layers rather than the cache policy. Together they reconstruct one
+	// request's hop chain across client → cache node → peer/directory →
+	// backend (see spans.go and cmd/icache-trace).
+
+	// KindRPCSend is an outbound RPC measured at the sender: a client's
+	// GetBatch round trip (hop 0) or a cache node's peer/directory call
+	// (hop = the sender's hop). Dur is the full round-trip time.
+	KindRPCSend
+	// KindRPCRecv is an inbound RPC measured at the receiver: the time the
+	// receiving node spent serving the request. Hop is the receiver's
+	// position in the chain.
+	KindRPCRecv
+	// KindBackend is a backend-storage fetch performed while serving a
+	// traced request; Dur is the storage service time.
+	KindBackend
 )
+
+// kindNames backs Kind.String and CSV parsing; order must match the
+// constants above.
+var kindNames = [...]string{
+	"hit", "miss", "substitute", "admit", "evict", "package", "refresh",
+	"epoch", "rpc_send", "rpc_recv", "backend",
+}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	switch k {
-	case KindHit:
-		return "hit"
-	case KindMiss:
-		return "miss"
-	case KindSubstitute:
-		return "substitute"
-	case KindAdmit:
-		return "admit"
-	case KindEvict:
-		return "evict"
-	case KindPackage:
-		return "package"
-	case KindRefresh:
-		return "refresh"
-	case KindEpoch:
-		return "epoch"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsSpan reports whether k is a span-style kind (carries trace context and
+// a duration).
+func (k Kind) IsSpan() bool {
+	return k == KindRPCSend || k == KindRPCRecv || k == KindBackend
 }
 
 // Event is one recorded cache event. Arg's meaning depends on Kind: the
 // substitute's ID for KindSubstitute, the sample count for KindPackage, the
-// H-list length for KindRefresh, the epoch number for KindEpoch.
+// H-list length for KindRefresh, the epoch number for KindEpoch, the batch
+// size for KindRPCRecv.
+//
+// Span-style kinds additionally carry the cross-node trace context
+// (TraceID + Hop) and the measured Dur; those fields are zero on classic
+// cache events.
 type Event struct {
 	At   time.Duration // virtual or wall offset, as the recorder's owner defines
 	Kind Kind
 	ID   dataset.SampleID
 	Arg  int64
+
+	// TraceID and Hop identify the request chain a span event belongs to
+	// (0 = untraced). Dur is the span's measured duration.
+	TraceID uint64
+	Hop     uint8
+	Dur     time.Duration
 }
 
 // Recorder is a concurrency-safe ring buffer of events. The zero value is
@@ -96,11 +122,21 @@ func NewRecorder(capacity int) *Recorder {
 
 // Record appends an event, overwriting the oldest once full. Safe on nil.
 func (r *Recorder) Record(at time.Duration, kind Kind, id dataset.SampleID, arg int64) {
+	r.record(Event{At: at, Kind: kind, ID: id, Arg: arg})
+}
+
+// RecordSpan appends a span-style event carrying a trace context and a
+// measured duration. Safe on nil.
+func (r *Recorder) RecordSpan(at time.Duration, kind Kind, id dataset.SampleID, arg int64, traceID uint64, hop uint8, dur time.Duration) {
+	r.record(Event{At: at, Kind: kind, ID: id, Arg: arg, TraceID: traceID, Hop: hop, Dur: dur})
+}
+
+func (r *Recorder) record(e Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.buf[r.next] = Event{At: at, Kind: kind, ID: id, Arg: arg}
+	r.buf[r.next] = e
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
@@ -159,10 +195,12 @@ func (r *Recorder) Counts() map[Kind]int {
 }
 
 // WriteCSV dumps the retained events oldest-first as CSV with the columns
-// at_ns, kind, id, arg.
+// at_ns, kind, id, arg, trace, hop, dur_ns. The first four columns are the
+// pre-span format; ReadCSV accepts both widths, so old dumps stay
+// readable. The trace column is the trace ID in hex (0 = untraced).
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"at_ns", "kind", "id", "arg"}); err != nil {
+	if err := cw.Write([]string{"at_ns", "kind", "id", "arg", "trace", "hop", "dur_ns"}); err != nil {
 		return err
 	}
 	for _, e := range r.Snapshot() {
@@ -171,6 +209,9 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			e.Kind.String(),
 			strconv.FormatInt(int64(e.ID), 10),
 			strconv.FormatInt(e.Arg, 10),
+			strconv.FormatUint(e.TraceID, 16),
+			strconv.FormatUint(uint64(e.Hop), 10),
+			strconv.FormatInt(int64(e.Dur), 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
