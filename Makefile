@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs obs-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer obs-smoke experiments experiments-quick fuzz fuzz-short clean
 
 all: build vet test test-race chaos fuzz-short obs-smoke
 
@@ -56,6 +56,16 @@ obs-smoke:
 	$(GO) test -count=1 -run 'TestMetricsJSONBytesUnchanged|TestPrometheusExposition|TestTraced|TestSlowRequest|TestObs|TestDebugObs' ./internal/rpc/
 	$(GO) test -count=1 -run 'TestDirTraced|TestDirEnvelope|TestDirObs' ./internal/dkv/
 
+# Batched remote data plane benchmark (the PR 5 scatter-gather work): two
+# cache nodes over loopback, eight miss-heavy clients hammering a hot set
+# the OTHER node owns. Compares serial (per-sample directory lookup +
+# PeerGet round trip) against batched (one directory multi-lookup + one
+# opPeerGetBatch per mini-batch, pipelined over the multiplexed peer
+# connection). The batched samples/sec should beat serial by >= 3x.
+bench-peer:
+	$(GO) test -run NONE -bench 'PeerHotSet' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_peer.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_peer.json < /tmp/bench_peer.txt
+
 # Observability overhead benchmark (off vs histograms-armed vs every
 # request traced on the 8-client miss-heavy workload), archived as JSON.
 bench-obs:
@@ -78,8 +88,9 @@ fuzz:
 
 # Seed-corpus-only fuzz pass: runs every fuzz target's checked-in seeds as
 # plain tests (no exploration), fast enough to gate `make all` on. Covers
-# the cache-service dispatcher, the directory dispatcher (including the
-# membership opcodes), and the wire framing.
+# the cache-service dispatcher (including the batched-peer-read and mux
+# envelope opcodes), the directory dispatcher (including the membership
+# and multi-lookup opcodes), and the wire framing.
 fuzz-short:
 	$(GO) test -run 'FuzzServerDispatch' -count=1 ./internal/rpc/
 	$(GO) test -run 'FuzzDirDispatch' -count=1 ./internal/dkv/

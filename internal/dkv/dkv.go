@@ -70,6 +70,40 @@ func (d *Directory) Lookup(id dataset.SampleID) (NodeID, bool) {
 	return n, true
 }
 
+// Owner is one LookupBatch result: the owning node, when Found.
+type Owner struct {
+	Node  NodeID
+	Found bool
+}
+
+// LookupBatch resolves the owners of many ids under one lock acquisition,
+// aligned with ids (out[i] answers ids[i]). It is liveness-aware exactly
+// like Lookup: entries owned by Dead nodes are purged on sight and
+// reported unowned. One batched call is semantically identical to len(ids)
+// serial Lookups at the same instant — the batch exists so the miss path
+// and the anti-entropy scrubber pay one directory round trip per
+// mini-batch instead of one per sample.
+func (d *Directory) LookupBatch(ids []dataset.SampleID) []Owner {
+	out := make([]Owner, len(ids))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	d.syncStates(now)
+	for i, id := range ids {
+		n, ok := d.owner[id]
+		if !ok {
+			continue
+		}
+		if d.stateOf(n, now) == NodeDead {
+			delete(d.owner, id)
+			d.ms.Purged++
+			continue
+		}
+		out[i] = Owner{Node: n, Found: true}
+	}
+	return out
+}
+
 // Claim registers node as the owner of id. It reports whether the claim
 // succeeded; a claim on an item owned by another Live (or Suspect) node
 // fails (no duplication), re-claiming one's own item succeeds idempotently,
@@ -134,6 +168,10 @@ func (d *Directory) Stats() (claims, denied int64) {
 // (Register/Heartbeat/ListNodes/OwnedBy/PurgeDead).
 type Service interface {
 	Lookup(id dataset.SampleID) (NodeID, bool, error)
+	// LookupBatch resolves many ids in one directory operation (one wire
+	// round trip for DirClient), aligned with ids. Liveness-aware like
+	// Lookup.
+	LookupBatch(ids []dataset.SampleID) ([]Owner, error)
 	Claim(id dataset.SampleID, node NodeID) (bool, error)
 	Release(id dataset.SampleID, node NodeID) (bool, error)
 	Len() (int, error)
@@ -159,6 +197,11 @@ type Local struct{ Dir *Directory }
 func (l Local) Lookup(id dataset.SampleID) (NodeID, bool, error) {
 	n, ok := l.Dir.Lookup(id)
 	return n, ok, nil
+}
+
+// LookupBatch resolves many ids under one directory lock acquisition.
+func (l Local) LookupBatch(ids []dataset.SampleID) ([]Owner, error) {
+	return l.Dir.LookupBatch(ids), nil
 }
 
 // Claim registers node as the owner of id (first claim wins).

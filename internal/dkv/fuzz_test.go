@@ -32,6 +32,12 @@ func FuzzDirDispatch(f *testing.F) {
 	f.Add([]byte{opOwnedBy, 0, 0, 0, 0, 0, 0, 0, 2})
 	f.Add([]byte{opPurgeDead, 0, 0, 0, 0})
 	f.Add([]byte{opPurgeDead, 255, 255, 255, 255})
+	// Multi-lookup: well-formed (one owned id, one absent), truncated id
+	// list, and an absurd count that must trip the "unreasonable batch
+	// size" guard instead of allocating gigabytes.
+	f.Add([]byte{opLookupBatch, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add([]byte{opLookupBatch, 0, 0, 0, 2, 0, 0, 0, 0})
+	f.Add([]byte{opLookupBatch, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{0xFF, 0x01, 0x02})
 
 	f.Fuzz(func(t *testing.T, req []byte) {

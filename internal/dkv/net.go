@@ -20,18 +20,25 @@ import (
 // nodes use in place of the in-process map. The protocol reuses the shared
 // wire framing.
 
-// Directory-service opcodes.
+// Directory-service opcodes. opTraced (= 10) lives in obs.go.
 const (
-	opLookup    = 1
-	opClaim     = 2
-	opRelease   = 3
-	opLen       = 4
-	opRegister  = 5
-	opHeartbeat = 6
-	opListNodes = 7
-	opOwnedBy   = 8
-	opPurgeDead = 9
+	opLookup      = 1
+	opClaim       = 2
+	opRelease     = 3
+	opLen         = 4
+	opRegister    = 5
+	opHeartbeat   = 6
+	opListNodes   = 7
+	opOwnedBy     = 8
+	opPurgeDead   = 9
+	opLookupBatch = 11
 )
+
+// maxLookupBatch bounds one opLookupBatch request server-side. It mirrors
+// the rpc layer's "unreasonable batch size" guard: a mini-batch or a scrub
+// window is at most a few thousand ids, so a million-id request is either a
+// corrupt frame or abuse, and the server refuses rather than allocating.
+const maxLookupBatch = 1 << 20
 
 // Response status codes.
 const (
@@ -178,6 +185,35 @@ func (s *DirServer) dispatchInto(req []byte, e *wire.Buffer) {
 			e.I64(int64(node))
 		} else {
 			e.U8(0)
+		}
+	case opLookupBatch:
+		n := int(d.U32())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		if n < 0 || n > maxLookupBatch {
+			dirError(e, fmt.Errorf("dkv: unreasonable batch size %d", n))
+			return
+		}
+		ids := make([]dataset.SampleID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = dataset.SampleID(d.I64())
+		}
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		owners := s.dir.LookupBatch(ids)
+		e.U8(statusOK)
+		e.U32(uint32(len(owners)))
+		for _, o := range owners {
+			if o.Found {
+				e.U8(1)
+				e.I64(int64(o.Node))
+			} else {
+				e.U8(0)
+			}
 		}
 	case opClaim:
 		id := dataset.SampleID(d.I64())
@@ -405,6 +441,50 @@ func (c *DirClient) Lookup(id dataset.SampleID) (NodeID, bool, error) {
 		return 0, false, d.Err
 	}
 	return NodeID(d.I64()), true, d.Err
+}
+
+// LookupBatch resolves the owners of many ids in ONE wire round trip,
+// aligned with ids. This is the amortization primitive of the batched miss
+// path and the anti-entropy scrubber: a mini-batch's worth of directory
+// questions costs one frame each way instead of len(ids) serial exchanges.
+// An empty ids slice short-circuits without touching the network.
+func (c *DirClient) LookupBatch(ids []dataset.SampleID) ([]Owner, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var e wire.Buffer
+	e.U8(opLookupBatch)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.I64(int64(id))
+	}
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLookupBatchResponse(d, len(ids))
+}
+
+// decodeLookupBatchResponse decodes the per-id owner entries of an
+// opLookupBatch response, aligned with the want ids the caller sent.
+func decodeLookupBatchResponse(d *wire.Reader, want int) ([]Owner, error) {
+	n := int(d.U32())
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if n != want {
+		return nil, fmt.Errorf("dkv: lookup batch length mismatch: sent %d, got %d", want, n)
+	}
+	out := make([]Owner, n)
+	for i := 0; i < n; i++ {
+		if d.U8() == 1 {
+			out[i] = Owner{Node: NodeID(d.I64()), Found: true}
+		}
+		if d.Err != nil {
+			return nil, d.Err
+		}
+	}
+	return out, d.Err
 }
 
 // Claim registers node as the owner of id (first claim wins).

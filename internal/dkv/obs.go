@@ -133,3 +133,32 @@ func (c *DirClient) LookupTraced(id dataset.SampleID, ctx obs.TraceCtx) (NodeID,
 	}
 	return NodeID(d.I64()), true, d.Err
 }
+
+// LookupBatchTraced is LookupBatch carrying a trace context addressed to
+// the directory server, so a traced cache request's ONE batched ownership
+// lookup appears in the cross-node hop chain just like the per-sample
+// lookups it replaced. A zero context sends the plain request. It
+// implements the optional interface the rpc layer probes for when
+// forwarding traced batched directory lookups.
+func (c *DirClient) LookupBatchTraced(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Owner, error) {
+	if !ctx.Valid() {
+		return c.LookupBatch(ids)
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var e wire.Buffer
+	e.U8(opTraced)
+	e.I64(int64(ctx.ID))
+	e.U8(ctx.Hop)
+	e.U8(opLookupBatch)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.I64(int64(id))
+	}
+	d, err := c.roundTrip(e.B)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLookupBatchResponse(d, len(ids))
+}

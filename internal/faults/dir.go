@@ -56,6 +56,17 @@ func (d *Dir) Lookup(id dataset.SampleID) (dkv.NodeID, bool, error) {
 	return d.inner.Lookup(id)
 }
 
+// LookupBatch resolves many ids in one directory operation. The whole batch
+// is gated ONCE under OpDirLookup — it models one wire round trip, so a
+// fault schedule that errors every Nth lookup fails the entire batch, just
+// as a dropped frame would fail every id it carried.
+func (d *Dir) LookupBatch(ids []dataset.SampleID) ([]dkv.Owner, error) {
+	if err := d.gate(OpDirLookup); err != nil {
+		return nil, err
+	}
+	return d.inner.LookupBatch(ids)
+}
+
 // Claim registers node as the owner of id (first claim wins).
 func (d *Dir) Claim(id dataset.SampleID, node dkv.NodeID) (bool, error) {
 	if err := d.gate(OpDirClaim); err != nil {

@@ -166,6 +166,9 @@ type ServingStats struct {
 	PrefetchWorkers    int64 // gauge: configured pool size (the Fig. 15 knob)
 	BufferGets         int64 // pooled-buffer checkouts on the wire path
 	BufferAllocs       int64 // checkouts that had to allocate (pool miss)
+	PeerBatchRPCs      int64 // scatter-gather opPeerGetBatch round trips issued
+	PeerBatchSamples   int64 // samples carried by those batched peer RPCs
+	MuxInflight        int64 // gauge: multiplexed request frames currently being served
 }
 
 // Add accumulates o's counters into s. Gauges (queue depth, worker count)
@@ -180,6 +183,19 @@ func (s *ServingStats) Add(o ServingStats) {
 	s.PrefetchWorkers = o.PrefetchWorkers
 	s.BufferGets += o.BufferGets
 	s.BufferAllocs += o.BufferAllocs
+	s.PeerBatchRPCs += o.PeerBatchRPCs
+	s.PeerBatchSamples += o.PeerBatchSamples
+	s.MuxInflight = o.MuxInflight
+}
+
+// PeerBatchFill reports the average number of samples per batched peer RPC
+// (0 when no batched RPCs were issued) — the scatter-gather amortization
+// factor: higher means fewer round trips per mini-batch.
+func (s ServingStats) PeerBatchFill() float64 {
+	if s.PeerBatchRPCs == 0 {
+		return 0
+	}
+	return float64(s.PeerBatchSamples) / float64(s.PeerBatchRPCs)
 }
 
 // BufferReuseRate reports the fraction of pooled-buffer checkouts served
@@ -192,9 +208,10 @@ func (s ServingStats) BufferReuseRate() float64 {
 }
 
 func (s ServingStats) String() string {
-	return fmt.Sprintf("coalesced=%d prefetch{queued=%d done=%d dropped=%d failed=%d depth=%d workers=%d} bufReuse=%.3f",
+	return fmt.Sprintf("coalesced=%d prefetch{queued=%d done=%d dropped=%d failed=%d depth=%d workers=%d} bufReuse=%.3f peerBatch{rpcs=%d samples=%d fill=%.1f} muxInflight=%d",
 		s.CoalescedMisses, s.PrefetchQueued, s.PrefetchCompleted, s.PrefetchDropped,
-		s.PrefetchFailed, s.PrefetchQueueDepth, s.PrefetchWorkers, s.BufferReuseRate())
+		s.PrefetchFailed, s.PrefetchQueueDepth, s.PrefetchWorkers, s.BufferReuseRate(),
+		s.PeerBatchRPCs, s.PeerBatchSamples, s.PeerBatchFill(), s.MuxInflight)
 }
 
 // EpochStats describes one simulated training epoch of one job.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/dkv"
 	"icache/internal/icache"
 	"icache/internal/obs"
 	"icache/internal/sampling"
@@ -214,6 +215,166 @@ func BenchmarkObsOverhead(b *testing.B) {
 			if elapsed > 0 {
 				b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
 			}
+		})
+	}
+}
+
+// benchDistPair builds a two-node distributed deployment over loopback with
+// a real TCP directory (round trips count here) and the given peer config on
+// both nodes, mirroring startDistFixture at benchmark scale.
+func benchDistPair(b *testing.B, cfg PeerConfig) ([2]*Server, [2]string) {
+	b.Helper()
+	spec := dataset.Spec{Name: "bench", NumSamples: 4096, MeanSampleBytes: 1024, Seed: 7}
+
+	dir := dkv.NewDirectory()
+	dirSrv := dkv.NewDirServer(dir)
+	dirLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go dirSrv.Serve(dirLn)
+	b.Cleanup(func() { dirSrv.Close() })
+
+	var nodes [2]*Server
+	var addrs [2]string
+	var lns [2]net.Listener
+	for n := 0; n < 2; n++ {
+		back, err := storage.NewBackend(spec, storage.OrangeFS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := icache.DefaultConfig(spec.TotalBytes() / 10)
+		c.EnableLCache = false
+		cacheSrv, err := icache.NewServer(back, c, sampling.DefaultIIS(), int64(n+11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		source, err := storage.NewDataSource(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[n] = NewServer(cacheSrv, source)
+		nodes[n].Logf = nil
+		lns[n], err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[n] = lns[n].Addr().String()
+	}
+	for n := 0; n < 2; n++ {
+		dirClient, err := dkv.DialDir(dirLn.Addr().String(), 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peer := map[dkv.NodeID]string{dkv.NodeID(1 - n): addrs[1-n]}
+		nodes[n].EnableDistributed(dkv.NodeID(n), dirClient, peer)
+		nodes[n].SetPeerConfig(cfg)
+		go nodes[n].Serve(lns[n])
+	}
+	b.Cleanup(func() {
+		nodes[0].Close()
+		nodes[1].Close()
+	})
+	return nodes, addrs
+}
+
+// BenchmarkPeerHotSet is the before/after comparison of the batched remote
+// data plane (archived via `make bench-peer` into BENCH_peer.json): eight
+// clients hammer node B with mini-batches drawn from a hot set that node A
+// owns, so every request is a remote-owned miss (remote hits are never
+// admitted locally — the no-duplication invariant keeps the set on A).
+//
+//	serial:  PeerConfig.Batch=0, the pre-batching plane — per sample, one
+//	         directory Lookup plus one PeerGet round trip.
+//	batched: one directory multi-lookup and one opPeerGetBatch RPC per
+//	         mini-batch, pipelined over the multiplexed peer connection.
+//
+// The headline samples/sec metric should improve by >= 3x batched vs
+// serial; peer-rpcs/op reports the measured RPC amortization.
+func BenchmarkPeerHotSet(b *testing.B) {
+	const (
+		batchSize = 16
+		clients   = 8
+		hotSet    = 64
+	)
+	for _, mode := range []struct {
+		name string
+		cfg  PeerConfig
+	}{
+		{"serial", PeerConfig{Batch: 0}},
+		{"batched", PeerConfig{Batch: 256}},
+	} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			nodes, addrs := benchDistPair(b, mode.cfg)
+
+			// Warm: node A fetches and claims the hot set; both nodes carry
+			// the same H-list so node B serves the exact requested IDs.
+			var items []sampling.Item
+			var hot []dataset.SampleID
+			for id := dataset.SampleID(0); id < hotSet; id++ {
+				items = append(items, sampling.Item{ID: id, IV: 5})
+				hot = append(hot, id)
+			}
+			cA, err := Dial(addrs[0], 2*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cA.Close()
+			if err := cA.UpdateImportance(items); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cA.GetBatch(hot); err != nil {
+				b.Fatal(err)
+			}
+
+			conns := make([]*Client, clients)
+			for i := range conns {
+				c, err := Dial(addrs[1], 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+			if err := conns[0].UpdateImportance(items); err != nil {
+				b.Fatal(err)
+			}
+
+			rpcs0, _ := nodes[1].PeerBatchStats()
+			b.ResetTimer()
+			var next int64
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(i)*6700417 + 9))
+					ids := make([]dataset.SampleID, batchSize)
+					for atomic.AddInt64(&next, 1) <= int64(b.N) {
+						for j := range ids {
+							ids[j] = dataset.SampleID(rng.Intn(hotSet))
+						}
+						if _, err := conns[i].GetBatch(ids); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
+			}
+			rpcs, _ := nodes[1].PeerBatchStats()
+			b.ReportMetric(float64(rpcs-rpcs0)/float64(b.N), "peer-rpcs/op")
 		})
 	}
 }

@@ -1,10 +1,12 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icache/internal/dataset"
@@ -17,27 +19,49 @@ import (
 // Client is the framework-side iCache client module (the role the paper's
 // iCacheImageFolder plays inside PyTorch): it forwards data-loader requests
 // to the cache server and pushes the job's H-list after importance updates.
-// A Client owns one TCP connection and serializes requests on it; data
-// loaders with several workers open one Client per worker.
+//
+// A Client owns one TCP connection. Which transport runs on it is decided
+// by a capability handshake at dial time (see mux.go):
+//
+//   - against a mux-capable server, requests are pipelined — N goroutines
+//     can have N tagged frames in flight at once, matched back to their
+//     callers by a demux reader goroutine;
+//   - against a legacy server, the client degrades to the classic
+//     one-frame-at-a-time exchange, serialized under the client mutex.
 //
 // The client is resilient by default: a transport failure triggers
 // redial-and-retry under an exponential-backoff-with-jitter policy
 // (retry.Default), so a long-running training job rides through cache
-// server restarts — servers come back warm via checkpoints. Application
-// errors reported by the server (status frames) are never retried.
+// server restarts — servers come back warm via checkpoints. The handshake
+// re-runs on every redial, so a server that restarts into a different
+// protocol generation is re-probed. Application errors reported by the
+// server (status frames) are never retried.
 type Client struct {
 	addr    string
 	timeout time.Duration
 	policy  retry.Policy
+	rng     *rand.Rand // jitter PRNG; thread-safe via lockedSource
+	sleep   func(time.Duration) // nil = time.Sleep; tests may stub
 
+	// mu guards the serial transport's connection and the closed flag.
+	// Unlike the pre-mux client it is held across ONE exchange, not across
+	// the whole retry loop.
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
-	rng    *rand.Rand
-	sleep  func(time.Duration) // nil = time.Sleep; tests may stub
 
-	retries int64 // round trips that needed at least one retry
-	redials int64 // successful connection re-establishments
+	retries int64 // atomic: round trips that needed at least one retry
+	redials int64 // atomic: successful connection re-establishments
+
+	// Multiplexed transport state (mux.go). useMux is 1 after a handshake
+	// granted capMux (atomic: the request path reads it lock-free); a
+	// redial that negotiates down flips it back to 0 for good. muxMu
+	// guards the current session generation.
+	useMux      int32
+	muxDisabled bool // config: never negotiate (emulates a legacy client)
+	muxInflight int  // per-session in-flight bound (0 = default)
+	muxMu       sync.Mutex
+	mux         *muxSession
 
 	// Observability (EnableObs; all nil/zero when disabled). rtHist times
 	// whole round trips (retries included); tracer+sampler arm 1-in-N
@@ -50,6 +74,28 @@ type Client struct {
 	obsStart time.Time
 }
 
+// defaultMuxInflight bounds outstanding requests per multiplexed
+// connection when the dialer does not choose a limit (the -peer-inflight
+// knob): deep enough to keep a batched miss path busy, shallow enough that
+// one sick peer cannot absorb unbounded request goroutines.
+const defaultMuxInflight = 32
+
+// DialConfig parameterizes DialConfigured. The zero value selects the
+// defaults Dial uses.
+type DialConfig struct {
+	// Timeout bounds the TCP dial and the capability handshake.
+	Timeout time.Duration
+	// Policy is the retry schedule (zero value: retry.Default()).
+	Policy retry.Policy
+	// MuxInflight bounds in-flight requests per multiplexed connection
+	// (<= 0 selects defaultMuxInflight).
+	MuxInflight int
+	// DisableMux skips capability negotiation entirely, pinning the client
+	// to the legacy one-frame-at-a-time transport (mixed-version interop
+	// tests use this to stand in for an old client binary).
+	DisableMux bool
+}
+
 // Dial connects to an iCache server with the default retry policy.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return DialPolicy(addr, timeout, retry.Default())
@@ -59,19 +105,47 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // both the initial dial and every subsequent round trip. Jitter draws from
 // a PRNG seeded deterministically per client so chaos tests replay.
 func DialPolicy(addr string, timeout time.Duration, policy retry.Policy) (*Client, error) {
+	return DialConfigured(addr, DialConfig{Timeout: timeout, Policy: policy})
+}
+
+// DialConfigured connects with explicit transport configuration.
+func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
+	policy := cfg.Policy
+	if policy == (retry.Policy{}) {
+		policy = retry.Default()
+	}
+	inflight := cfg.MuxInflight
+	if inflight <= 0 {
+		inflight = defaultMuxInflight
+	}
 	c := &Client{
-		addr:     addr,
-		timeout:  timeout,
-		policy:   policy,
-		rng:      rand.New(rand.NewSource(int64(len(addr))*0x9E37 + 1)),
-		obsStart: time.Now(),
+		addr:        addr,
+		timeout:     cfg.Timeout,
+		policy:      policy,
+		rng:         rand.New(newLockedSource(int64(len(addr))*0x9E37 + 1)),
+		muxDisabled: cfg.DisableMux,
+		muxInflight: inflight,
+		obsStart:    time.Now(),
 	}
 	err := retry.Do(policy, c.rng, c.sleep, func(int) error {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
+		conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
 		if err != nil {
 			return err
 		}
+		if c.muxDisabled {
+			c.conn = conn
+			return nil
+		}
+		caps, err := negotiate(conn, cfg.Timeout)
+		if err != nil {
+			conn.Close()
+			return err
+		}
 		c.conn = conn
+		if caps&capMux != 0 {
+			atomic.StoreInt32(&c.useMux, 1)
+			c.mux = newMuxSession(conn, c.muxInflight)
+		}
 		return nil
 	})
 	if err != nil {
@@ -80,30 +154,46 @@ func DialPolicy(addr string, timeout time.Duration, policy retry.Policy) (*Clien
 	return c, nil
 }
 
-// Close tears down the connection.
+// Muxed reports whether the client negotiated the multiplexed transport
+// with its server (false against a legacy peer, or after DisableMux).
+func (c *Client) Muxed() bool { return atomic.LoadInt32(&c.useMux) == 1 }
+
+// Close tears down the connection (and the demux reader, when muxing).
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	return c.conn.Close()
+	conn := c.conn
+	c.mu.Unlock()
+	c.muxMu.Lock()
+	m := c.mux
+	c.mux = nil
+	c.muxMu.Unlock()
+	if m != nil {
+		m.close() // closes the conn and waits for the demux reader to exit
+	}
+	if conn != nil {
+		// On a muxed client the session owns the same conn and just closed
+		// it; the double close is harmless and not an error worth reporting.
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Resilience reports how many round trips needed a retry and how many
 // redials succeeded over the client's lifetime.
 func (c *Client) Resilience() (retries, redials int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.retries, c.redials
+	return atomic.LoadInt64(&c.retries), atomic.LoadInt64(&c.redials)
 }
 
 // roundTrip sends one request frame and decodes the status byte of the
 // response, returning the remaining body. Transport failures (broken
 // connection, failed write/read) are retried under the client's policy
 // with a fresh connection per attempt; server status errors surface
-// immediately.
+// immediately. The transport per attempt is whatever the latest handshake
+// negotiated: pipelined frames on a mux session, or a serial exchange.
 func (c *Client) roundTrip(req []byte) (*reader, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var t0 time.Time
 	if c.rtHist != nil {
 		t0 = time.Now()
@@ -112,16 +202,10 @@ func (c *Client) roundTrip(req []byte) (*reader, error) {
 	var resp []byte
 	retried := false
 	err := retry.Do(c.policy, c.rng, c.sleep, func(attempt int) error {
-		if c.closed {
-			return retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
-		}
 		if attempt > 0 {
 			retried = true
-			if err := c.redial(); err != nil {
-				return fmt.Errorf("rpc: redial %s: %w", c.addr, err)
-			}
 		}
-		r, err := c.exchange(req)
+		r, err := c.attempt(req, attempt > 0)
 		if err != nil {
 			return err
 		}
@@ -129,7 +213,7 @@ func (c *Client) roundTrip(req []byte) (*reader, error) {
 		return nil
 	})
 	if retried {
-		c.retries++
+		atomic.AddInt64(&c.retries, 1)
 	}
 	if err != nil {
 		return nil, err
@@ -145,8 +229,148 @@ func (c *Client) roundTrip(req []byte) (*reader, error) {
 	}
 }
 
-// exchange performs one write/read on the current connection (mu held).
-func (c *Client) exchange(req []byte) ([]byte, error) {
+// attempt performs one exchange on whichever transport is currently
+// negotiated. isRetry forces the serial transport to redial first.
+//
+// A retried attempt on a muxed client goes over a ONE-SHOT serial
+// connection instead of re-establishing the mux session inline: the retry's
+// success must not depend on the mux machinery (handshake, demux reader,
+// pipelined peers on the same connection) coming back healthy — a plain
+// dial-exchange-close is the most failure-independent path available, and
+// the next regular request re-establishes the session lazily. This also
+// breaks deterministic failure resonance: a fault schedule that keys on
+// per-connection I/O patterns (the chaos suite's DropEvery rules) would
+// otherwise hit a freshly handshaken session at the same relative offset on
+// every retry.
+func (c *Client) attempt(req []byte, isRetry bool) ([]byte, error) {
+	if c.Muxed() {
+		if isRetry {
+			return c.oneShotSerial(req)
+		}
+		sess, fresh, err := c.muxSessionFor()
+		if err != nil {
+			return nil, err
+		}
+		if sess != nil {
+			resp, err := sess.do(req)
+			if err != nil {
+				c.muxFailed(sess)
+				return nil, err
+			}
+			return resp, nil
+		}
+		// The redial negotiated DOWN (server restarted into a legacy
+		// binary): a fresh serial connection is already installed, use it.
+		_ = fresh
+		isRetry = false
+	}
+	return c.serialAttempt(req, isRetry)
+}
+
+// oneShotSerial performs one exchange on a private dial-and-close
+// connection, never touching the serial conn or the mux session (a racing
+// goroutine may have installed a healthy new generation we must not
+// disturb). Used only for retry attempts of a muxed client.
+func (c *Client) oneShotSerial(req []byte) ([]byte, error) {
+	if c.isClosed() {
+		return nil, retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	atomic.AddInt64(&c.redials, 1)
+	if err := writeFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	return resp, nil
+}
+
+// muxSessionFor returns a live mux session, dialing a new generation when
+// the current one is broken. A nil session with nil error means the redial
+// handshake negotiated down to the serial transport (useMux was flipped and
+// the fresh connection installed for serialAttempt).
+func (c *Client) muxSessionFor() (*muxSession, bool, error) {
+	c.muxMu.Lock()
+	defer c.muxMu.Unlock()
+	if c.isClosed() {
+		return nil, false, retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
+	}
+	if c.mux != nil && !c.mux.broken() {
+		return c.mux, false, nil
+	}
+	if c.mux != nil {
+		c.mux.close()
+		c.mux = nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+	}
+	caps, err := negotiate(conn, c.timeout)
+	if err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+	}
+	atomic.AddInt64(&c.redials, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, false, retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
+	}
+	old := c.conn
+	c.conn = conn
+	c.mu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+	if caps&capMux == 0 {
+		atomic.StoreInt32(&c.useMux, 0)
+		return nil, true, nil
+	}
+	c.mux = newMuxSession(conn, c.muxInflight)
+	return c.mux, true, nil
+}
+
+// muxFailed discards a broken session generation so the next attempt dials
+// fresh (generation-based redial: a racing goroutine that already installed
+// a new session is left alone).
+func (c *Client) muxFailed(sess *muxSession) {
+	c.muxMu.Lock()
+	if c.mux == sess {
+		c.mux = nil
+	}
+	c.muxMu.Unlock()
+	sess.close()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// serialAttempt performs one legacy-framing exchange under mu: write one
+// frame, read one frame. Holding mu across the exchange keeps concurrent
+// users of a legacy client request/response-aligned — they serialize, which
+// is exactly the head-of-line blocking the mux transport removes.
+func (c *Client) serialAttempt(req []byte, redial bool) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
+	}
+	if c.conn == nil || redial {
+		if err := c.redialLocked(); err != nil {
+			return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+		}
+	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w", err)
 	}
@@ -157,15 +381,17 @@ func (c *Client) exchange(req []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// redial replaces the connection (mu held).
-func (c *Client) redial() error {
+// redialLocked replaces the serial connection (mu held).
+func (c *Client) redialLocked() error {
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return err
 	}
-	c.conn.Close()
+	if c.conn != nil {
+		c.conn.Close()
+	}
 	c.conn = conn
-	c.redials++
+	atomic.AddInt64(&c.redials, 1)
 	return nil
 }
 
@@ -230,10 +456,45 @@ func (c *Client) Stats() (Stats, error) {
 	return decodeStatsResponse(d)
 }
 
-// Ping checks liveness.
+// Ping checks liveness. (The capability handshake rides a richer ping; see
+// negotiate in mux.go. This one stays byte-identical to the legacy ping so
+// old servers answer it.)
 func (c *Client) Ping() error {
 	var e buffer
 	e.u8(opPing)
 	_, err := c.roundTrip(e.payload())
 	return err
+}
+
+// lockedSource is a mutex-guarded rand.Source64: the mux transport draws
+// retry jitter from concurrent request goroutines, and the stdlib sources
+// are not safe for concurrent use. Seeded deterministically per client —
+// draw VALUES replay under a fixed seed, though the interleaving across
+// goroutines is scheduling-dependent (jitter only perturbs backoff timing,
+// never logical outcomes).
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func newLockedSource(seed int64) *lockedSource {
+	return &lockedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
 }

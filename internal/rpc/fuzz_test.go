@@ -40,6 +40,18 @@ func FuzzServerDispatch(f *testing.F) {
 	f.Add([]byte{opPeerGet, 0, 0, 0, 0, 0, 0, 0, 9})
 	f.Add([]byte{0xFF, 0x01, 0x02})
 	f.Add(encodeGetBatchRequest([]dataset.SampleID{0, 1, 2}))
+	// Batched peer reads: well-formed, truncated id list, and an absurd
+	// count that must trip the "unreasonable batch size" guard instead of
+	// allocating gigabytes.
+	f.Add(encodePeerGetBatchRequest([]dataset.SampleID{0, 1, 2}))
+	f.Add([]byte{opPeerGetBatch, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{opPeerGetBatch, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Mux envelope at the dispatch layer (the serve loop intercepts it
+	// before dispatch, so here it must read as an unknown opcode) and a
+	// capability-bearing ping.
+	f.Add([]byte{opMuxReq, 0, 0, 0, 1, opPing})
+	f.Add([]byte{opMuxReq, 0, 0, 0})
+	f.Add([]byte{opPing, 0, 0, 0, 1})
 
 	f.Fuzz(func(t *testing.T, req []byte) {
 		resp := srv.dispatch(req)

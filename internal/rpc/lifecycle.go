@@ -257,13 +257,21 @@ func (s *Server) scrubOnce() {
 		if limit > len(ids) {
 			limit = len(ids)
 		}
+		// One LookupBatch answers ownership for the whole window: the sweep
+		// costs one directory round trip instead of ScrubBatch serial
+		// lookups (claims/releases stay per-id — they are the rare repairs,
+		// not the common probe).
+		window := make([]dataset.SampleID, 0, limit)
 		for i := 0; i < limit; i++ {
-			id := ids[(mark+i)%len(ids)]
-			owner, found, err := dist.dir.Lookup(id)
-			if err != nil {
-				s.countDirFailure()
-				return
-			}
+			window = append(window, ids[(mark+i)%len(ids)])
+		}
+		owners, err := dist.dir.LookupBatch(window)
+		if err != nil || len(owners) != len(window) {
+			s.countDirFailure()
+			return
+		}
+		for i, id := range window {
+			owner, found := owners[i].Node, owners[i].Found
 			if found && owner == dist.nodeID {
 				continue
 			}

@@ -78,6 +78,8 @@ func (s *Server) ServingStats() metrics.ServingStats {
 	}
 	gets, news := wire.PoolStats()
 	out.BufferGets, out.BufferAllocs = gets, news
+	out.PeerBatchRPCs, out.PeerBatchSamples = s.PeerBatchStats()
+	out.MuxInflight = s.MuxInflight()
 	return out
 }
 

@@ -1,0 +1,236 @@
+package rpc
+
+// This file is the multiplexed client transport of the batched remote data
+// plane: instead of one serialized request/response exchange at a time per
+// connection (PR-2's Client held its mutex across the whole network round
+// trip — head-of-line blocking once the local serving path went
+// concurrent), a mux-capable client tags every request frame with a u32
+// request ID and splits the connection into
+//
+//   - a writer path: any request goroutine may send, serialized only for
+//     the duration of one frame write (wmu), and
+//   - a demux reader: ONE background goroutine owns every read on the
+//     connection, matches response frames to waiting callers through the
+//     pending map, and delivers each result over a buffered channel.
+//
+// N goroutines can therefore have N frames in flight on one TCP connection;
+// the server (see servemux.go) dispatches them concurrently and writes
+// responses back in completion order.
+//
+// # Negotiation
+//
+// Whether a connection speaks mux framing is decided by a capability
+// handshake piggybacked on opPing (see protocol.go): the client appends its
+// capability word to the ping request; a mux-capable server echoes its own
+// after statusOK, a legacy server ignores the extra bytes and answers with
+// the bare status byte. No capMux in the reply means the client stays on
+// the classic one-frame-at-a-time transport — mixed-version clusters keep
+// working, they just don't pipeline. The handshake re-runs on every
+// (re)dial, so a peer that restarts into an older or newer binary is
+// re-probed.
+//
+// # Channel discipline (lock ordering appendix)
+//
+// muxSession.mu (pending map) and muxSession.wmu (frame writes) are both
+// leaf locks: neither is ever held across network I/O of the OTHER path —
+// wmu is held across exactly one WriteFrame, mu across map access only.
+// The demux reader never takes wmu; writers never read. Result channels
+// are buffered (capacity 1) so the reader can always deliver without
+// blocking, even if the caller already gave up; a failed session closes
+// every pending channel's delivery with the session error, so no caller
+// can wait on a dead connection.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icache/internal/wire"
+)
+
+// muxResult is one demuxed response (or the session-level failure).
+type muxResult struct {
+	resp []byte
+	err  error
+}
+
+// muxSession is one multiplexed connection generation. A broken session is
+// never repaired: the owning Client discards it and dials a fresh one (the
+// generation-based redial in client.go), so every field except the pending
+// map is immutable after construction.
+type muxSession struct {
+	conn net.Conn
+
+	// wmu serializes frame writes (the "writer path"). Held across exactly
+	// one WriteFrame, never across a read.
+	wmu sync.Mutex
+
+	// mu guards pending/nextID/err (map access only, never held across I/O).
+	mu      sync.Mutex
+	pending map[uint32]chan muxResult
+	nextID  uint32
+	err     error
+
+	// done closes when the demux reader exits (leak hygiene: Close waits).
+	done chan struct{}
+
+	// inflight bounds concurrently outstanding requests on this session
+	// (nil = unbounded). Acquired before a request ID is allocated.
+	inflight chan struct{}
+}
+
+// newMuxSession starts the demux reader on conn. inflightCap <= 0 means
+// unbounded.
+func newMuxSession(conn net.Conn, inflightCap int) *muxSession {
+	m := &muxSession{
+		conn:    conn,
+		pending: make(map[uint32]chan muxResult),
+		done:    make(chan struct{}),
+	}
+	if inflightCap > 0 {
+		m.inflight = make(chan struct{}, inflightCap)
+	}
+	go m.readLoop()
+	return m
+}
+
+// do sends one request frame and blocks until the demux reader delivers its
+// response (or the session dies). Safe for unbounded concurrent use.
+func (m *muxSession) do(req []byte) ([]byte, error) {
+	if m.inflight != nil {
+		m.inflight <- struct{}{}
+		defer func() { <-m.inflight }()
+	}
+	ch := make(chan muxResult, 1)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	id := m.nextID
+	m.nextID++
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	e := wire.GetBuffer()
+	e.U8(opMuxReq)
+	e.U32(id)
+	e.B = append(e.B, req...)
+	m.wmu.Lock()
+	err := wire.WriteFrame(m.conn, e.B)
+	m.wmu.Unlock()
+	wire.PutBuffer(e)
+	if err != nil {
+		m.forget(id)
+		return nil, fmt.Errorf("rpc: mux send: %w", err)
+	}
+	res := <-ch
+	return res.resp, res.err
+}
+
+// forget retires a request ID whose frame never made it out. The reader may
+// have raced a delivery into the (buffered) channel; that result is simply
+// dropped with the channel.
+func (m *muxSession) forget(id uint32) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// readLoop is the demux reader: the only goroutine that ever reads the
+// connection. It exits on the first transport or protocol error, failing
+// every pending caller.
+func (m *muxSession) readLoop() {
+	defer close(m.done)
+	for {
+		frame, err := wire.ReadFrame(m.conn)
+		if err != nil {
+			m.fail(fmt.Errorf("rpc: mux receive: %w", err))
+			return
+		}
+		if len(frame) < muxHeaderLen || frame[0] != opMuxReq {
+			m.fail(fmt.Errorf("rpc: mux: malformed response frame (%d bytes)", len(frame)))
+			return
+		}
+		d := wire.NewReader(frame)
+		d.U8() // opMuxReq
+		id := d.U32()
+		m.mu.Lock()
+		ch := m.pending[id]
+		delete(m.pending, id)
+		m.mu.Unlock()
+		if ch != nil {
+			// frame is a fresh allocation per ReadFrame; the body may be
+			// handed to the caller by reference.
+			ch <- muxResult{resp: frame[muxHeaderLen:]}
+		}
+		// An unknown ID is a response to a request we already forgot
+		// (write raced the failure path); drop it and keep reading.
+	}
+}
+
+// fail marks the session dead, delivers err to every pending caller, and
+// closes the connection so the writer path errors fast too.
+func (m *muxSession) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	pend := m.pending
+	m.pending = make(map[uint32]chan muxResult)
+	m.mu.Unlock()
+	for _, ch := range pend {
+		ch <- muxResult{err: err}
+	}
+	m.conn.Close()
+}
+
+// broken reports whether the session has failed.
+func (m *muxSession) broken() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err != nil
+}
+
+// close tears the session down (idempotent) and waits for the demux reader
+// to exit, so Close leaves no goroutine behind.
+func (m *muxSession) close() {
+	m.conn.Close()
+	<-m.done
+}
+
+// negotiate runs the capability handshake on a fresh connection: one
+// serial ping exchange carrying the client's capability word. It reports
+// the server's capabilities (0 from a legacy server, whose bare statusOK
+// reply carries no capability word). The deadline bounds the exchange so a
+// black-holed server cannot hang Dial forever.
+func negotiate(conn net.Conn, timeout time.Duration) (uint32, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	var e buffer
+	e.u8(opPing)
+	e.u32(capMux)
+	if err := writeFrame(conn, e.payload()); err != nil {
+		return 0, fmt.Errorf("rpc: handshake send: %w", err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: handshake receive: %w", err)
+	}
+	d := newReader(resp)
+	if status := d.u8(); status != statusOK {
+		return 0, fmt.Errorf("rpc: handshake status %d", status)
+	}
+	if len(resp) < 5 {
+		return 0, nil // legacy server: bare status byte, no capabilities
+	}
+	caps := d.u32()
+	if d.err() != nil {
+		return 0, nil
+	}
+	return caps, nil
+}

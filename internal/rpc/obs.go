@@ -60,8 +60,14 @@ const (
 	StageBackendFetch = "backend_fetch"
 	// StagePeerRPC is a remote peer-cache read, measured at the sender.
 	StagePeerRPC = "peer_rpc"
+	// StagePeerRPCBatch is one scatter-gather opPeerGetBatch round trip
+	// (many samples per RPC), measured at the sender.
+	StagePeerRPCBatch = "peer_rpc_batch"
 	// StageDirLookup is a directory ownership lookup, measured at the sender.
 	StageDirLookup = "dir_lookup"
+	// StageDirLookupBatch is one multi-lookup directory round trip
+	// (LookupBatch), measured at the sender.
+	StageDirLookupBatch = "dir_lookup_batch"
 	// StagePrefetchQueueWait is time a delivered sample sat on the prefetch
 	// queue before a worker picked it up.
 	StagePrefetchQueueWait = "prefetch_queue_wait"
@@ -88,6 +94,7 @@ type serverObs struct {
 
 	request, policyLock, localHit, sfWait   *obs.Histogram
 	backend, peerRPC, dirLookup, prefetchWt *obs.Histogram
+	peerBatch, dirBatch                     *obs.Histogram
 
 	tracer *trace.Recorder
 
@@ -114,7 +121,9 @@ func (s *Server) EnableObs(reg *obs.Registry, tracer *trace.Recorder) {
 	s.obs.sfWait = reg.Hist(StageSingleflightWait)
 	s.obs.backend = reg.Hist(StageBackendFetch)
 	s.obs.peerRPC = reg.Hist(StagePeerRPC)
+	s.obs.peerBatch = reg.Hist(StagePeerRPCBatch)
 	s.obs.dirLookup = reg.Hist(StageDirLookup)
+	s.obs.dirBatch = reg.Hist(StageDirLookupBatch)
 	s.obs.prefetchWt = reg.Hist(StagePrefetchQueueWait)
 	s.cache.SetSubstitutionScanHist(reg.Hist(StageSubstitutionScan))
 }

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"icache/internal/metrics"
 	"icache/internal/obs"
 	"icache/internal/retry"
+	"icache/internal/singleflight"
 	"icache/internal/trace"
 )
 
@@ -49,19 +51,78 @@ import (
 // opPeerGet fetches a resident sample's payload from a peer cache node.
 const opPeerGet = 6
 
+// PeerConfig tunes the batched remote data plane (the -peer-batch and
+// -peer-inflight flags). SetPeerConfig installs it before Serve.
+type PeerConfig struct {
+	// Batch caps how many of a mini-batch's remote misses ride one
+	// opPeerGetBatch RPC. 0 disables batching entirely: the miss path
+	// falls back to the serial per-sample resolvePayload flow (the
+	// "before" mode of the bench-peer comparison).
+	Batch int
+	// Inflight bounds in-flight frames per multiplexed peer connection
+	// (<= 0 selects the client default).
+	Inflight int
+	// LegacyPoolConns is the per-peer connection-pool size used when a
+	// peer negotiates DOWN to the legacy one-frame-at-a-time transport:
+	// a small pool recovers some concurrency that mux framing would have
+	// provided (<= 0 selects 2; mux-capable peers always use 1 connection).
+	LegacyPoolConns int
+}
+
+// defaultPeerConfig is what EnableDistributed installs until SetPeerConfig
+// overrides it.
+func defaultPeerConfig() PeerConfig {
+	return PeerConfig{Batch: 256, Inflight: defaultMuxInflight, LegacyPoolConns: 2}
+}
+
+func (c PeerConfig) withDefaults() PeerConfig {
+	if c.Batch < 0 {
+		c.Batch = 0
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = defaultMuxInflight
+	}
+	if c.LegacyPoolConns <= 0 {
+		c.LegacyPoolConns = 2
+	}
+	return c
+}
+
+// SetPeerConfig tunes the batched remote data plane. Call after
+// EnableDistributed and before Serve (the serving path reads the config
+// without synchronization). A no-op on a non-distributed server.
+func (s *Server) SetPeerConfig(cfg PeerConfig) {
+	if s.dist == nil {
+		return
+	}
+	s.dist.peerCfg = cfg.withDefaults()
+}
+
+// peerSlot is one peer's connection set: a single multiplexed client when
+// the peer speaks capMux, or a small round-robin pool of legacy clients
+// when it negotiated down.
+type peerSlot struct {
+	clients []*Client
+	next    int
+}
+
 // distState is the optional distributed wiring of a Server.
 type distState struct {
 	nodeID    dkv.NodeID
 	dir       dkv.Service
 	peerAddrs map[dkv.NodeID]string
+	peerCfg   PeerConfig
 
 	mu    sync.Mutex
-	peers map[dkv.NodeID]*Client
+	peers map[dkv.NodeID]*peerSlot
 
 	peerServes   int64 // requests this node answered for peers (atomic)
 	peerHits     int64 // local misses served from a peer's cache (atomic)
 	peerFailures int64 // peer dials/reads that failed (atomic)
 	dirFailures  int64 // directory operations that failed (atomic)
+
+	peerBatchRPCs    int64 // opPeerGetBatch RPCs issued to peers (atomic)
+	peerBatchSamples int64 // samples carried by those RPCs (atomic)
 
 	// Wall-clock membership loop state (see lifecycle.go); memStop is nil
 	// until StartMembership.
@@ -86,7 +147,8 @@ func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir dkv.Service, peerAddrs
 		nodeID:    nodeID,
 		dir:       dir,
 		peerAddrs: peerAddrs,
-		peers:     make(map[dkv.NodeID]*Client),
+		peerCfg:   defaultPeerConfig(),
+		peers:     make(map[dkv.NodeID]*peerSlot),
 	}
 }
 
@@ -111,30 +173,64 @@ func (s *Server) ResilienceStats() (peerFailures, dirFailures int64) {
 
 // peer returns a (cached) client connection to the given node. Peer clients
 // use the tight retry.Peer policy: degrading to the backend beats waiting.
+// A mux-capable peer is served by ONE pipelined connection; a peer that
+// negotiated down to legacy framing grows a small round-robin pool
+// (PeerConfig.LegacyPoolConns) so concurrent miss batches don't fully
+// serialize behind one in-flight frame.
 func (d *distState) peer(node dkv.NodeID) (*Client, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if c, ok := d.peers[node]; ok {
+	slot, ok := d.peers[node]
+	if !ok {
+		slot = &peerSlot{}
+		d.peers[node] = slot
+	}
+	target := 1
+	if len(slot.clients) > 0 && !slot.clients[0].Muxed() {
+		target = d.peerCfg.LegacyPoolConns
+		if target < 1 {
+			target = 1
+		}
+	}
+	if len(slot.clients) < target || len(slot.clients) == 0 {
+		addr, ok := d.peerAddrs[node]
+		if !ok {
+			return nil, fmt.Errorf("rpc: no address for peer node %d", node)
+		}
+		c, err := DialConfigured(addr, DialConfig{
+			Timeout:     2 * time.Second,
+			Policy:      retry.Peer(),
+			MuxInflight: d.peerCfg.Inflight,
+		})
+		if err != nil {
+			if len(slot.clients) > 0 {
+				// Pool growth failed; fall back to an existing connection.
+				slot.next++
+				return slot.clients[slot.next%len(slot.clients)], nil
+			}
+			return nil, err
+		}
+		slot.clients = append(slot.clients, c)
 		return c, nil
 	}
-	addr, ok := d.peerAddrs[node]
-	if !ok {
-		return nil, fmt.Errorf("rpc: no address for peer node %d", node)
-	}
-	c, err := DialPolicy(addr, 2*time.Second, retry.Peer())
-	if err != nil {
-		return nil, err
-	}
-	d.peers[node] = c
-	return c, nil
+	slot.next++
+	return slot.clients[slot.next%len(slot.clients)], nil
 }
 
 // dropPeer discards a cached peer client after a failure so the next
 // request re-dials instead of reusing a poisoned connection.
 func (d *distState) dropPeer(node dkv.NodeID, c *Client) {
 	d.mu.Lock()
-	if cur, ok := d.peers[node]; ok && cur == c {
-		delete(d.peers, node)
+	if slot, ok := d.peers[node]; ok {
+		for i, cur := range slot.clients {
+			if cur == c {
+				slot.clients = append(slot.clients[:i], slot.clients[i+1:]...)
+				break
+			}
+		}
+		if len(slot.clients) == 0 {
+			delete(d.peers, node)
+		}
 	}
 	d.mu.Unlock()
 	c.Close()
@@ -144,10 +240,12 @@ func (d *distState) dropPeer(node dkv.NodeID, c *Client) {
 func (d *distState) closePeers() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, c := range d.peers {
-		c.Close()
+	for _, slot := range d.peers {
+		for _, c := range slot.clients {
+			c.Close()
+		}
 	}
-	d.peers = make(map[dkv.NodeID]*Client)
+	d.peers = make(map[dkv.NodeID]*peerSlot)
 }
 
 // PeerGet asks a cache node for a resident sample's payload. The second
@@ -207,6 +305,275 @@ func (s *Server) handlePeerGet(d *reader, e *buffer, ctx obs.TraceCtx) {
 	if !t0.IsZero() {
 		s.span(trace.KindRPCRecv, id, 1, ctx, time.Since(t0))
 	}
+}
+
+// PeerGetBatch asks a peer cache node for many resident samples in one
+// round trip. The result is aligned with ids: out[i] is the payload when
+// the peer had ids[i], nil when it did not (a peer miss is not an error).
+// Against a peer that negotiated down to the legacy transport the call
+// degrades to serial per-sample PeerGet round trips — mixed-version
+// clusters lose the batching win but keep working.
+func (c *Client) PeerGetBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([][]byte, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if !c.Muxed() {
+		// Negotiated down (the peer predates opPeerGetBatch) or pinned to
+		// the legacy transport by DisableMux: per-sample round trips.
+		return c.peerGetBatchSerial(ids, ctx)
+	}
+	req := encodePeerGetBatchRequest(ids)
+	if ctx.Valid() {
+		req = WrapTraced(req, ctx)
+	}
+	d, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodePeerGetBatchResponse(d, len(ids))
+}
+
+// peerGetBatchSerial is the interop fallback: one legacy round trip per id.
+func (c *Client) peerGetBatchSerial(ids []dataset.SampleID, ctx obs.TraceCtx) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		p, ok, err := c.PeerGetCtx(id, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[i] = p
+		}
+	}
+	return out, nil
+}
+
+// handlePeerGetBatch serves opPeerGetBatch: per-id payload-store lookups
+// only — exactly handlePeerGet's contract (never policyMu, never a cache
+// mutation), amortized over one frame. Response entries align with the
+// request ids.
+func (s *Server) handlePeerGetBatch(d *reader, e *buffer, ctx obs.TraceCtx) {
+	var t0 time.Time
+	if s.obs.tracing(ctx) {
+		t0 = time.Now()
+	}
+	ids, err := decodePeerGetBatchRequest(d)
+	if err != nil {
+		encodeErrorResponseInto(e, err.Error())
+		return
+	}
+	e.u8(statusOK)
+	e.u32(uint32(len(ids)))
+	served := 0
+	for _, id := range ids {
+		if payload, ok := s.payloads.get(id); ok {
+			e.u8(1)
+			e.bytes(payload)
+			served++
+		} else {
+			e.u8(0)
+		}
+	}
+	if served > 0 && s.dist != nil {
+		atomic.AddInt64(&s.dist.peerServes, int64(served))
+	}
+	if !t0.IsZero() {
+		s.span(trace.KindRPCRecv, 0, int64(len(ids)), ctx, time.Since(t0))
+	}
+}
+
+// resolveMissBatch is the scatter-gather heart of the batched miss path:
+// it resolves every singleflight key this request leads, using one
+// directory multi-lookup and one batched peer RPC per owning node, and
+// GUARANTEES every key is finished exactly once on all paths (a leaked
+// leader key would deadlock every waiter). Called with no server lock
+// held; all peer/directory I/O happens outside locks per the contract at
+// the top of this file.
+func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx) {
+	finish := func(id dataset.SampleID, p []byte, err error) {
+		s.flight.Finish(int64(id), calls[id], p, err)
+	}
+
+	// Re-check the store under the flight happens-before edge: a racing
+	// fetch may have filled entries between the miss scan and our Begin.
+	var remaining []dataset.SampleID
+	for _, id := range ids {
+		if p, ok := s.payloads.get(id); ok {
+			finish(id, p, nil)
+		} else {
+			remaining = append(remaining, id)
+		}
+	}
+	if len(remaining) == 0 {
+		return
+	}
+
+	// One directory round trip answers ownership for the whole batch. A
+	// directory failure degrades every id to a backend read (counted), the
+	// same way a failed per-sample Lookup used to.
+	dist := s.dist
+	owners := s.dirLookupBatch(dist, remaining, ctx)
+
+	local := make([]dataset.SampleID, 0, len(remaining))
+	groups := make(map[dkv.NodeID][]dataset.SampleID)
+	for i, id := range remaining {
+		if owners != nil && owners[i].Found && owners[i].Node != dist.nodeID {
+			groups[owners[i].Node] = append(groups[owners[i].Node], id)
+		} else {
+			local = append(local, id)
+		}
+	}
+
+	// Scatter: one goroutine per owning node (chunked at PeerConfig.Batch),
+	// so peer RPC count per mini-batch is O(owning nodes), not O(misses).
+	// Each chunk's remote hits are finished as soon as that peer answers;
+	// its misses and failures join the backend fallback list.
+	var wg sync.WaitGroup
+	var fbMu sync.Mutex
+	var fallback []dataset.SampleID
+	batchCap := dist.peerCfg.Batch
+	for node, group := range groups {
+		for start := 0; start < len(group); start += batchCap {
+			end := start + batchCap
+			if end > len(group) {
+				end = len(group)
+			}
+			chunk := group[start:end]
+			wg.Add(1)
+			go func(node dkv.NodeID, chunk []dataset.SampleID) {
+				defer wg.Done()
+				miss := s.peerFetchBatch(node, chunk, calls, ctx)
+				if len(miss) > 0 {
+					fbMu.Lock()
+					fallback = append(fallback, miss...)
+					fbMu.Unlock()
+				}
+			}(node, chunk)
+		}
+	}
+	wg.Wait()
+
+	// Gather the remainder from backend storage, in deterministic order.
+	local = append(local, fallback...)
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	measure := s.obs.histsOn() || s.obs.tracing(ctx)
+	for _, id := range local {
+		var tFetch time.Time
+		if measure {
+			tFetch = time.Now()
+		}
+		p, err := s.source.Fetch(id)
+		if measure {
+			dur := time.Since(tFetch)
+			s.obs.backend.Record(dur)
+			s.span(trace.KindBackend, id, 0, ctx, dur)
+		}
+		if err != nil {
+			finish(id, nil, err)
+			continue
+		}
+		s.admit(id, p)
+		finish(id, p, nil)
+	}
+}
+
+// peerFetchBatch issues one opPeerGetBatch RPC to node for ids, finishing
+// the singleflight key of every sample the peer returned (after dropping
+// any local duplicate copies under one policyMu hold — the no-duplication
+// hygiene of the serial path, amortized). It returns the ids the peer did
+// NOT satisfy; any transport failure degrades the whole chunk to the
+// backend, exactly like a failed per-sample PeerGet.
+func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx) []dataset.SampleID {
+	dist := s.dist
+	peer, err := dist.peer(node)
+	if err != nil {
+		atomic.AddInt64(&dist.peerFailures, 1)
+		return ids
+	}
+	atomic.AddInt64(&dist.peerBatchRPCs, 1)
+	atomic.AddInt64(&dist.peerBatchSamples, int64(len(ids)))
+	measure := s.obs.histsOn() || s.obs.tracing(ctx)
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
+	res, err := peer.PeerGetBatch(ids, ctx.Next())
+	if measure {
+		dur := time.Since(t0)
+		s.obs.peerBatch.Record(dur)
+		s.span(trace.KindRPCSend, 0, spanArgPeer, ctx, dur)
+	}
+	if err != nil {
+		atomic.AddInt64(&dist.peerFailures, 1)
+		dist.dropPeer(node, peer)
+		return ids
+	}
+	var hits, fallback []dataset.SampleID
+	for i, id := range ids {
+		if res[i] != nil {
+			hits = append(hits, id)
+		} else {
+			fallback = append(fallback, id)
+		}
+	}
+	if len(hits) > 0 {
+		// Owned elsewhere: this node must not keep duplicates. One short
+		// policyMu hold covers the whole chunk.
+		s.policyMu.Lock()
+		for _, id := range hits {
+			if s.cache.Drop(id) {
+				s.payloads.delete(id)
+			}
+		}
+		s.policyMu.Unlock()
+		for i, id := range ids {
+			if res[i] != nil {
+				s.flight.Finish(int64(id), calls[id], res[i], nil)
+			}
+		}
+		atomic.AddInt64(&dist.peerHits, int64(len(hits)))
+	}
+	return fallback
+}
+
+// dirLookupBatch resolves ownership for many ids in one directory
+// operation, timed into the dir_lookup_batch stage. A failure (or a
+// malformed short answer) counts one directory failure and returns nil,
+// which degrades every id in the batch to a backend read.
+func (s *Server) dirLookupBatch(dist *distState, ids []dataset.SampleID, ctx obs.TraceCtx) []dkv.Owner {
+	measure := s.obs.histsOn() || s.obs.tracing(ctx)
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
+	var owners []dkv.Owner
+	var err error
+	if td, ok := dist.dir.(interface {
+		LookupBatchTraced([]dataset.SampleID, obs.TraceCtx) ([]dkv.Owner, error)
+	}); ok && ctx.Valid() {
+		owners, err = td.LookupBatchTraced(ids, ctx.Next())
+	} else {
+		owners, err = dist.dir.LookupBatch(ids)
+	}
+	if measure {
+		dur := time.Since(t0)
+		s.obs.dirBatch.Record(dur)
+		s.span(trace.KindRPCSend, 0, spanArgDir, ctx, dur)
+	}
+	if err != nil || len(owners) != len(ids) {
+		atomic.AddInt64(&dist.dirFailures, 1)
+		return nil
+	}
+	return owners
+}
+
+// PeerBatchStats reports (batched peer RPCs issued, samples carried by
+// them); zeros when distribution is disabled.
+func (s *Server) PeerBatchStats() (rpcs, samples int64) {
+	if s.dist == nil {
+		return 0, 0
+	}
+	return atomic.LoadInt64(&s.dist.peerBatchRPCs), atomic.LoadInt64(&s.dist.peerBatchSamples)
 }
 
 // resolveRemote tries to serve a payload from the owning peer's cache.

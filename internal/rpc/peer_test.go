@@ -22,6 +22,13 @@ type distFixture struct {
 }
 
 func startDistFixture(t *testing.T) *distFixture {
+	return startDistFixtureHook(t, nil)
+}
+
+// startDistFixtureHook is startDistFixture with a per-node hook that runs
+// after EnableDistributed and before Serve — mixed-version interop tests pin
+// one node to the legacy wire protocol, tuning tests adjust peer configs.
+func startDistFixtureHook(t *testing.T, hook func(n int, srv *Server)) *distFixture {
 	t.Helper()
 	spec := testSpec()
 
@@ -65,6 +72,9 @@ func startDistFixture(t *testing.T) *distFixture {
 		}
 		peer := map[dkv.NodeID]string{dkv.NodeID(1 - n): f.addrs[1-n]}
 		f.nodes[n].EnableDistributed(dkv.NodeID(n), dirClient, peer)
+		if hook != nil {
+			hook(n, f.nodes[n])
+		}
 		go f.nodes[n].Serve(lns[n])
 	}
 	t.Cleanup(func() {

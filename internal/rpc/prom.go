@@ -96,6 +96,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Counter("icache_buffer_pool_gets_total", "pooled-buffer checkouts on the wire path", float64(sv.BufferGets))
 	p.Counter("icache_buffer_pool_allocs_total", "checkouts that had to allocate (pool miss)", float64(sv.BufferAllocs))
 	p.Gauge("icache_buffer_reuse_rate", "fraction of checkouts served without allocating (0 when none yet)", sv.BufferReuseRate())
+	p.Counter("icache_peer_batch_rpcs_total", "scatter-gather peer batch round trips issued", float64(sv.PeerBatchRPCs))
+	p.Counter("icache_peer_batch_samples_total", "samples carried by batched peer RPCs", float64(sv.PeerBatchSamples))
+	p.Gauge("icache_mux_inflight", "multiplexed request frames currently being served", float64(sv.MuxInflight))
 
 	// Per-stage latency histograms (nil registry emits nothing).
 	p.Registry("icache_stage", s.obs.reg)

@@ -19,14 +19,39 @@ import (
 	"icache/internal/wire"
 )
 
-// Opcodes.
+// Opcodes. opPeerGet (= 6) lives in peer.go and opTraced (= 7) in obs.go.
 const (
 	opGetBatch         = 1 // the paper's rpc_loader
 	opUpdateImportance = 2 // the paper's update_ipersample
 	opStats            = 3
 	opBeginEpoch       = 4
 	opPing             = 5
+	// opPeerGetBatch fetches many resident samples from a peer cache in ONE
+	// round trip — the scatter-gather replacement for per-sample opPeerGet.
+	// Request: u8 opcode | u32 n | n × i64 id. Response: statusOK | u32 n |
+	// n × (u8 found | bytes payload-if-found), aligned with the request.
+	opPeerGetBatch = 8
+	// opMuxReq is the multiplexed-framing envelope: u8 opcode | u32 reqID |
+	// inner request bytes. The response frame echoes the envelope
+	// (u8 opMuxReq | u32 reqID | status+body) so a demux reader can match
+	// out-of-order responses back to their callers. Only clients that
+	// negotiated capMux over opPing send it; see mux.go.
+	opMuxReq = 9
 )
+
+// Capability bits negotiated over opPing. A post-PR-5 client appends
+// u32(its caps) to the ping request; a post-PR-5 server echoes u32(its
+// caps) after statusOK. Legacy peers ignore the extra request bytes and
+// send the bare 1-byte response, which reads as "no capabilities" — the
+// negotiation degrades silently in mixed-version clusters.
+const (
+	// capMux: the peer speaks opMuxReq framing AND opPeerGetBatch (both
+	// shipped together, so one bit covers the batched+pipelined data plane).
+	capMux uint32 = 1 << 0
+)
+
+// muxHeaderLen is the opMuxReq envelope size: opcode byte + u32 request ID.
+const muxHeaderLen = 5
 
 // Response status codes.
 const (
@@ -88,6 +113,45 @@ func decodeGetBatchRequest(d *reader) ([]dataset.SampleID, error) {
 		ids = append(ids, dataset.SampleID(d.i64()))
 	}
 	return ids, d.err()
+}
+
+// encodePeerGetBatchRequest/decode pair. The request body is identical in
+// shape to opGetBatch (u32 count + ids) and shares its size guard.
+func encodePeerGetBatchRequest(ids []dataset.SampleID) []byte {
+	var e buffer
+	e.u8(opPeerGetBatch)
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.i64(int64(id))
+	}
+	return e.payload()
+}
+
+func decodePeerGetBatchRequest(d *reader) ([]dataset.SampleID, error) {
+	return decodeGetBatchRequest(d) // same layout, same "unreasonable batch size" guard
+}
+
+// decodePeerGetBatchResponse decodes the per-id results of an
+// opPeerGetBatch response, aligned with the n ids the caller sent: out[i]
+// is the payload when the peer had ids[i] resident, nil when it did not.
+func decodePeerGetBatchResponse(d *reader, want int) ([][]byte, error) {
+	n := int(d.u32())
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	if n != want {
+		return nil, fmt.Errorf("rpc: peer batch length mismatch: sent %d, got %d", want, n)
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if d.u8() == 1 {
+			out[i] = d.bytes()
+		}
+		if err := d.err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, d.err()
 }
 
 // Sample is one delivered sample on the wire: the ID actually served (which

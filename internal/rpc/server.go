@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -81,6 +82,11 @@ type Server struct {
 	// for samples the loader delivered into the L-cache (nil when
 	// disabled).
 	prefetch *prefetcher
+	// muxInflight gauges mux requests currently in async dispatch (atomic).
+	muxInflight int64
+	// legacyProto pins the server to pre-PR-5 wire behavior (test hook;
+	// see SetLegacyProtocol).
+	legacyProto bool
 
 	ln      net.Listener
 	conns   sync.WaitGroup
@@ -213,16 +219,26 @@ func (s *Server) Close() error {
 }
 
 // serveConn is one connection's request loop. It reuses a single request
-// read buffer across frames (requests are fully decoded before the next
-// read, so aliasing is safe) and encodes every response into a pooled
-// buffer that is returned to the pool right after the frame is written.
+// read buffer across frames (requests are fully decoded — or copied, for
+// async mux dispatch — before the next read, so aliasing is safe) and
+// encodes every response into a pooled buffer that is returned to the pool
+// right after the frame is written.
+//
+// Frames carrying the opMuxReq envelope are dispatched asynchronously (one
+// goroutine per in-flight request, bounded by cs.sem) so a pipelined client
+// gets concurrent service on one connection; all response writes — sync and
+// async — serialize on cs.wmu so frames never interleave. On teardown the
+// connection closes FIRST, then the loop waits for in-flight mux handlers:
+// stragglers fail their writes fast instead of blocking shutdown.
 func (s *Server) serveConn(conn net.Conn) {
+	cs := &muxConnState{conn: conn, sem: make(chan struct{}, muxServerInflight)}
+	defer cs.wg.Wait()
 	defer conn.Close()
 	var rbuf []byte // request frame buffer, reused across requests
 	for {
 		req, err := wire.ReadFrameInto(conn, rbuf)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
 				// Normal client disconnects arrive as EOF; anything else is
 				// worth a log line but never a crash.
 				s.logIfUnexpected(err)
@@ -230,11 +246,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		rbuf = req[:0]
+		if len(req) >= muxHeaderLen && req[0] == opMuxReq && !s.legacyProto {
+			s.serveMuxFrame(cs, req)
+			continue
+		}
 		wb := wire.GetBuffer()
 		e := buffer{Buffer: *wb}
 		s.dispatchInto(req, &e)
 		wb.B = e.B // appends may have grown past the pooled backing array
+		cs.wmu.Lock()
 		err = writeFrame(conn, wb.B)
+		cs.wmu.Unlock()
 		wire.PutBuffer(wb)
 		if err != nil {
 			s.logIfUnexpected(err)
@@ -242,6 +264,66 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 }
+
+// muxServerInflight bounds concurrently dispatched mux requests per
+// connection; when full, the read loop blocks, pushing backpressure onto
+// the client's own in-flight bound.
+const muxServerInflight = 64
+
+// muxConnState is one connection's async-dispatch bookkeeping: the write
+// mutex all response frames serialize on, the handler semaphore, and the
+// WaitGroup serveConn drains on teardown.
+type muxConnState struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	wg   sync.WaitGroup
+	sem  chan struct{}
+}
+
+// serveMuxFrame dispatches one opMuxReq envelope asynchronously. req aliases
+// the read loop's reusable buffer, so the inner request is copied before the
+// handler goroutine starts. The response frame echoes the envelope header so
+// the client's demux reader can match it.
+func (s *Server) serveMuxFrame(cs *muxConnState, req []byte) {
+	d := newReader(req)
+	d.u8() // opMuxReq (validated by the caller)
+	id := d.u32()
+	inner := append([]byte(nil), d.rest()...)
+	cs.sem <- struct{}{}
+	cs.wg.Add(1)
+	atomic.AddInt64(&s.muxInflight, 1)
+	go func() {
+		defer func() {
+			atomic.AddInt64(&s.muxInflight, -1)
+			<-cs.sem
+			cs.wg.Done()
+		}()
+		wb := wire.GetBuffer()
+		e := buffer{Buffer: *wb}
+		e.u8(opMuxReq)
+		e.u32(id)
+		s.dispatchInto(inner, &e)
+		wb.B = e.B
+		cs.wmu.Lock()
+		err := writeFrame(cs.conn, wb.B)
+		cs.wmu.Unlock()
+		wire.PutBuffer(wb)
+		if err != nil {
+			s.logIfUnexpected(err)
+		}
+	}()
+}
+
+// MuxInflight reports the number of mux requests currently being served
+// across all connections (gauge).
+func (s *Server) MuxInflight() int64 { return atomic.LoadInt64(&s.muxInflight) }
+
+// SetLegacyProtocol pins the server to the pre-PR-5 wire behavior: opPing
+// answers with the bare status byte (no capability word), opMuxReq and
+// opPeerGetBatch are rejected as unknown opcodes. It exists so
+// mixed-version interop tests can stand up a faithful "old binary" —
+// production servers never call it. Must be set before Serve.
+func (s *Server) SetLegacyProtocol(on bool) { s.legacyProto = on }
 
 func (s *Server) logIfUnexpected(err error) {
 	if errors.Is(err, net.ErrClosed) {
@@ -346,8 +428,21 @@ func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
 		encodeStatsResponseInto(e, out)
 	case opPing:
 		e.u8(statusOK)
+		// Capability handshake: a post-PR-5 client appends its capability
+		// word; echo ours so it can pipeline. A bare legacy ping gets the
+		// bare legacy answer.
+		if !s.legacyProto && len(d.rest()) >= 4 {
+			_ = d.u32() // client capabilities (none change our behavior yet)
+			e.u32(capMux)
+		}
 	case opPeerGet:
 		s.handlePeerGet(d, e, ctx)
+	case opPeerGetBatch:
+		if s.legacyProto {
+			encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
+			return
+		}
+		s.handlePeerGetBatch(d, e, ctx)
 	default:
 		encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
 	}
@@ -378,6 +473,17 @@ func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, e
 	s.policyMu.Unlock()
 	s.obs.policyLock.Since(tLock)
 
+	if dist := s.dist; dist != nil && dist.peerCfg.Batch > 0 {
+		return s.collectBatched(served, ctx)
+	}
+	return s.collectSerial(served, ctx, histsOn)
+}
+
+// collectSerial resolves the served ids one at a time — the pre-batching
+// data plane, still used by lone servers and when the peer batch size is
+// configured to 0 (the serial escape hatch the before/after benchmark
+// compares against).
+func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, histsOn bool) ([]Sample, error) {
 	out := make([]Sample, 0, len(served))
 	for _, id := range served {
 		var tHit time.Time
@@ -395,6 +501,89 @@ func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, e
 			}
 		}
 		out = append(out, Sample{ID: id, Payload: payload})
+	}
+	return out, nil
+}
+
+// collectBatched is the scatter-gather data plane: local hits are served
+// from the payload store as usual, and ALL of the mini-batch's misses are
+// resolved together — one directory multi-lookup, one opPeerGetBatch RPC
+// per owning node (fanned out concurrently), backend reads for the rest —
+// with every miss registered in the singleflight layer first, so
+// concurrent requests (and the prefetch pool) for the same samples still
+// coalesce onto exactly one fetch and every waiter is satisfied exactly
+// once. See resolveMissBatch in peer.go for the fan-out itself.
+func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, error) {
+	histsOn := s.obs.histsOn()
+	out := make([]Sample, len(served))
+
+	// Pass 1: local hits, and the deduplicated miss list. Duplicate ids in
+	// one batch must enter singleflight once — a second Begin on a key this
+	// goroutine already leads would deadlock it against itself.
+	var missIDs []dataset.SampleID
+	missSet := make(map[dataset.SampleID]struct{})
+	for i, id := range served {
+		var tHit time.Time
+		if histsOn {
+			tHit = time.Now()
+		}
+		if payload, ok := s.payloads.get(id); ok {
+			s.obs.localHit.Since(tHit)
+			out[i] = Sample{ID: id, Payload: payload}
+			continue
+		}
+		if _, dup := missSet[id]; !dup {
+			missSet[id] = struct{}{}
+			missIDs = append(missIDs, id)
+		}
+	}
+	if len(missIDs) == 0 {
+		return out, nil
+	}
+
+	// Pass 2: join or lead the in-flight fetch for every miss. Keys led by
+	// another goroutine (or the prefetch pool) are only waited on; the keys
+	// we lead are resolved by the scatter-gather fan-out, which MUST finish
+	// every one of them (resolveMissBatch guarantees that on all paths).
+	calls := make(map[dataset.SampleID]*singleflight.Call, len(missIDs))
+	var leads []dataset.SampleID
+	for _, id := range missIDs {
+		c, leader := s.flight.Begin(int64(id))
+		calls[id] = c
+		if leader {
+			leads = append(leads, id)
+		}
+	}
+	if len(leads) > 0 {
+		s.resolveMissBatch(leads, calls, ctx)
+	}
+
+	// Pass 3: collect results. Every position whose id entered the miss set
+	// is filled from its call; pass-1 local hits keep their payloads. Calls
+	// we led are already finished (Wait returns immediately); foreign calls
+	// may still be in flight, and waiting on them is the coalescing win.
+	leadSet := make(map[dataset.SampleID]struct{}, len(leads))
+	for _, id := range leads {
+		leadSet[id] = struct{}{}
+	}
+	for i, id := range served {
+		if _, missed := missSet[id]; !missed {
+			continue // local hit from pass 1
+		}
+		_, ours := leadSet[id]
+		var tWait time.Time
+		if !ours && histsOn {
+			tWait = time.Now()
+		}
+		payload, err := calls[id].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
+		}
+		if !ours {
+			atomic.AddInt64(&s.coalescedMisses, 1)
+			s.obs.sfWait.Since(tWait)
+		}
+		out[i] = Sample{ID: id, Payload: payload}
 	}
 	return out, nil
 }

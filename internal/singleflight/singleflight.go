@@ -13,18 +13,28 @@ package singleflight
 
 import "sync"
 
-// call is one in-flight (or completed) fetch.
-type call struct {
+// Call is one in-flight (or completed) fetch. Leaders obtained through
+// Begin resolve it with Group.Finish; every other holder blocks in Wait
+// until then.
+type Call struct {
 	wg  sync.WaitGroup
 	val []byte
 	err error
+}
+
+// Wait blocks until the call's leader finishes it and returns the shared
+// result. The returned bytes are shared by reference across all waiters
+// and must be treated as immutable.
+func (c *Call) Wait() ([]byte, error) {
+	c.wg.Wait()
+	return c.val, c.err
 }
 
 // Group coalesces concurrent calls with the same key. The zero value is
 // ready to use.
 type Group struct {
 	mu sync.Mutex
-	m  map[int64]*call
+	m  map[int64]*Call
 }
 
 // Do executes fn, making sure only one execution per key is in flight at a
@@ -32,27 +42,52 @@ type Group struct {
 // result; shared reports whether the result came from another caller's
 // execution (true for the waiters, false for the executor).
 func (g *Group) Do(key int64, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	c, leader := g.Begin(key)
+	if !leader {
+		val, err = c.Wait()
+		return val, err, true
+	}
+	val, err = fn()
+	g.Finish(key, c, val, err)
+	return val, err, false
+}
+
+// Begin joins or starts the in-flight call for key. leader == true means
+// the caller now owns execution and MUST eventually call Finish exactly
+// once (even on error paths — an unfinished call deadlocks every waiter);
+// leader == false means another goroutine is executing and the caller
+// should Wait on the returned call.
+//
+// Begin/Finish exists for batch orchestrators (the scatter-gather miss
+// path): a caller can Begin many keys, resolve all the leader keys with
+// one batched RPC, and Finish each, while per-key waiters are still
+// satisfied exactly once.
+func (g *Group) Begin(key int64) (c *Call, leader bool) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.m == nil {
-		g.m = make(map[int64]*call)
+		g.m = make(map[int64]*Call)
 	}
 	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		return c, false
 	}
-	c := new(call)
+	c = new(Call)
 	c.wg.Add(1)
 	g.m[key] = c
-	g.mu.Unlock()
+	return c, true
+}
 
-	c.val, c.err = fn()
-
+// Finish resolves a call started with Begin: it publishes the result to
+// every waiter and retires the key so the next Begin starts fresh. Must be
+// called exactly once per leader Begin, with the same key and call.
+func (g *Group) Finish(key int64, c *Call, val []byte, err error) {
+	c.val, c.err = val, err
 	g.mu.Lock()
-	delete(g.m, key)
+	if cur, ok := g.m[key]; ok && cur == c {
+		delete(g.m, key)
+	}
 	g.mu.Unlock()
 	c.wg.Done()
-	return c.val, c.err, false
 }
 
 // Inflight reports the number of keys currently executing (diagnostics).

@@ -115,3 +115,126 @@ func TestSequentialCallsReExecute(t *testing.T) {
 		t.Fatalf("sequential calls coalesced: execs=%d", execs)
 	}
 }
+
+// TestBeginFinishLeaderAndWaiters exercises the batch-orchestrator API
+// directly: one Begin wins leadership, later Begins join as waiters, and
+// one Finish releases everyone with the shared result.
+func TestBeginFinishLeaderAndWaiters(t *testing.T) {
+	var g Group
+	c, leader := g.Begin(3)
+	if !leader {
+		t.Fatal("first Begin not leader")
+	}
+	c2, leader2 := g.Begin(3)
+	if leader2 {
+		t.Fatal("second Begin also leader")
+	}
+	if c2 != c {
+		t.Fatal("waiter joined a different call")
+	}
+
+	const waiters = 8
+	var wg, begun sync.WaitGroup
+	begun.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc, lead := g.Begin(3)
+			begun.Done()
+			if lead {
+				t.Error("concurrent Begin stole leadership")
+				return
+			}
+			v, err := wc.Wait()
+			if err != nil || string(v) != "batch" {
+				t.Errorf("waiter got %q, %v", v, err)
+			}
+		}()
+	}
+	begun.Wait() // every waiter joined before the leader resolves
+	g.Finish(3, c, []byte("batch"), nil)
+	if v, err := c2.Wait(); err != nil || string(v) != "batch" {
+		t.Fatalf("pre-finish waiter got %q, %v", v, err)
+	}
+	wg.Wait()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight after Finish: %d", g.Inflight())
+	}
+}
+
+// TestBeginFinishErrorPropagates delivers a leader's error to every waiter.
+func TestBeginFinishErrorPropagates(t *testing.T) {
+	var g Group
+	c, leader := g.Begin(4)
+	if !leader {
+		t.Fatal("not leader")
+	}
+	w, _ := g.Begin(4)
+	want := errors.New("fetch failed")
+	g.Finish(4, c, nil, want)
+	if _, err := w.Wait(); !errors.Is(err, want) {
+		t.Fatalf("waiter error: %v", err)
+	}
+}
+
+// TestFinishRetiresKey pins that a finished key starts fresh: the next
+// Begin must win leadership, not join the retired call.
+func TestFinishRetiresKey(t *testing.T) {
+	var g Group
+	c, _ := g.Begin(5)
+	g.Finish(5, c, []byte("old"), nil)
+	c2, leader := g.Begin(5)
+	if !leader {
+		t.Fatal("Begin after Finish did not win leadership")
+	}
+	if c2 == c {
+		t.Fatal("retired call reused")
+	}
+	g.Finish(5, c2, []byte("new"), nil)
+	if v, _ := c2.Wait(); string(v) != "new" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+// TestBeginManyKeysBatchResolution models the scatter-gather miss path: a
+// batch orchestrator Begins many keys, resolves them out of order in one
+// sweep, and every per-key waiter sees exactly its own result.
+func TestBeginManyKeysBatchResolution(t *testing.T) {
+	var g Group
+	const n = 32
+	calls := make([]*Call, n)
+	for i := 0; i < n; i++ {
+		c, leader := g.Begin(int64(i))
+		if !leader {
+			t.Fatalf("key %d not led", i)
+		}
+		calls[i] = c
+	}
+	var wg, begun sync.WaitGroup
+	begun.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, leader := g.Begin(int64(i))
+			begun.Done()
+			if leader {
+				t.Errorf("key %d: waiter stole leadership", i)
+				return
+			}
+			v, err := c.Wait()
+			if err != nil || len(v) != 1 || v[0] != byte(i) {
+				t.Errorf("key %d got %v, %v", i, v, err)
+			}
+		}(i)
+	}
+	begun.Wait() // every waiter joined before resolution starts
+	for i := n - 1; i >= 0; i-- { // resolve in reverse order
+		g.Finish(int64(i), calls[i], []byte{byte(i)}, nil)
+	}
+	wg.Wait()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight after batch: %d", g.Inflight())
+	}
+}
