@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer obs-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir obs-smoke experiments experiments-quick fuzz fuzz-short clean
 
 all: build vet test test-race chaos fuzz-short obs-smoke
 
@@ -29,9 +29,11 @@ test-race:
 # Chaos suites only, three times with rotating seeds: -count defeats the
 # test cache, and the suites' internal seed tables ([1, 42, 1337], the
 # trial indices, and the injector seeds) cover distinct schedules per run.
+# internal/dkv carries the partitioned-directory half: three real replica
+# processes over TCP with one killed mid-epoch.
 chaos:
-	$(GO) test -count=3 -run 'Chaos' ./internal/icache/ ./internal/rpc/
-	$(GO) test -count=3 -race -run 'Chaos' ./internal/icache/ ./internal/rpc/
+	$(GO) test -count=3 -run 'Chaos' ./internal/icache/ ./internal/rpc/ ./internal/dkv/
+	$(GO) test -count=3 -race -run 'Chaos' ./internal/icache/ ./internal/rpc/ ./internal/dkv/
 
 # One testing.B benchmark per paper table/figure (quick scale).
 bench:
@@ -66,6 +68,15 @@ bench-peer:
 	$(GO) test -run NONE -bench 'PeerHotSet' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_peer.txt
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_peer.json < /tmp/bench_peer.txt
 
+# Partitioned-directory scaling benchmark (the PR 6 sharding work): a
+# simulated 100-node cluster drives closed-loop LookupBatch traffic through
+# a real ShardedDir whose replicas are virtual-time FIFO resources, at 1, 2
+# and 4 shards. Lookup throughput (simlookups/sec) should scale
+# near-linearly: >= 1.7x at 2 shards and >= 3x at 4 vs. 1.
+bench-dir:
+	$(GO) test -run NONE -bench 'DirSharded' -count=5 ./internal/dkv/ > /tmp/bench_dir.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_dir.json < /tmp/bench_dir.txt
+
 # Observability overhead benchmark (off vs histograms-armed vs every
 # request traced on the 8-client miss-heavy workload), archived as JSON.
 bench-obs:
@@ -88,9 +99,10 @@ fuzz:
 
 # Seed-corpus-only fuzz pass: runs every fuzz target's checked-in seeds as
 # plain tests (no exploration), fast enough to gate `make all` on. Covers
-# the cache-service dispatcher (including the batched-peer-read and mux
-# envelope opcodes), the directory dispatcher (including the membership
-# and multi-lookup opcodes), and the wire framing.
+# the cache-service dispatcher (including the batched-peer-read, mux
+# envelope, and stray directory-replica opcodes), the directory dispatcher
+# (including the membership, multi-lookup, ring-view-exchange and shard
+# hand-off opcodes), and the wire framing.
 fuzz-short:
 	$(GO) test -run 'FuzzServerDispatch' -count=1 ./internal/rpc/
 	$(GO) test -run 'FuzzDirDispatch' -count=1 ./internal/dkv/

@@ -8,6 +8,16 @@
 //
 // Cache nodes join with `icache-server -node-id N -dir <addr> -peers ...`.
 //
+// The directory can be partitioned across N replicas (sharded by sample ID
+// via rendezvous hashing — see internal/dkv/ring.go): start each replica
+// with a distinct -replica-id and point -peers at the others, e.g.
+//
+//	icache-dkv -addr :7821 -replica-id 0 -peers 1=host2:7821,2=host3:7821
+//
+// Replicas lease-track each other, exchange epoch-numbered ring views every
+// -ring-interval, and hand shards off when a peer's lease expires. Cache
+// servers then list every replica in -dir (comma-separated).
+//
 // With -debug-addr the service also exposes an observability surface: the
 // per-request latency histogram and trace-ring summary at /debug/obs, and
 // (with -pprof) the net/http/pprof handlers. With -trace-csv, directory
@@ -18,11 +28,14 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,11 +51,32 @@ func main() {
 	debugAt := flag.String("debug-addr", "", "serve /debug/obs on this address (e.g. :7831); also arms the per-request latency histogram")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the debug address (requires -debug-addr)")
 	traceCSV := flag.String("trace-csv", "", "dump directory-side spans of traced requests to this CSV file at shutdown; also arms span recording")
+	replicaID := flag.Int("replica-id", 0, "this replica's ID in a partitioned directory (used with -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated id=addr list of the OTHER directory replicas (e.g. 1=host2:7821,2=host3:7821); enables replica mode")
+	ringInterval := flag.Duration("ring-interval", time.Second, "how often replicas exchange ring views (replica mode)")
+	handoffBatch := flag.Int("handoff-batch", 4096, "max directory entries dropped per shard hand-off sweep (replica mode; 0 = unbounded)")
 	flag.Parse()
 
 	dir := dkv.NewDirectory()
 	dir.SetMembershipParams(*leaseTTL, *suspect)
 	srv := dkv.NewDirServer(dir)
+
+	ringStop := make(chan struct{})
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag, *replicaID)
+		if err != nil {
+			log.Fatalf("icache-dkv: -peers: %v", err)
+		}
+		srv.EnableReplica(dkv.ReplicaConfig{
+			Self:          dkv.ReplicaID(*replicaID),
+			Peers:         peers,
+			LeaseTTL:      *leaseTTL,
+			SuspectWindow: *suspect,
+			HandoffBatch:  *handoffBatch,
+		})
+		go srv.RunRingExchange(*ringInterval, ringStop)
+		log.Printf("icache-dkv: replica %d of a partitioned directory (%d peers)", *replicaID, len(peers))
+	}
 
 	var tracer *trace.Recorder
 	if *traceCSV != "" {
@@ -102,10 +136,46 @@ func main() {
 					tracer.Len(), tracer.Total(), *traceCSV)
 			}
 		}
+		close(ringStop)
+		srv.CloseReplica()
 		srv.Close()
 	}()
 	log.Printf("icache-dkv: directory service listening on %s", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Printf("icache-dkv: %v", err)
 	}
+}
+
+// parsePeers parses the -peers flag's comma-separated id=addr list.
+func parsePeers(s string, self int) (map[dkv.ReplicaID]string, error) {
+	peers := make(map[dkv.ReplicaID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("entry %q is not id=addr", part)
+		}
+		id, err := strconv.Atoi(part[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: bad replica id: %v", part, err)
+		}
+		addr := part[eq+1:]
+		if addr == "" {
+			return nil, fmt.Errorf("entry %q: empty address", part)
+		}
+		if id == self {
+			return nil, fmt.Errorf("entry %q names this replica (-replica-id %d)", part, self)
+		}
+		if prev, dup := peers[dkv.ReplicaID(id)]; dup {
+			return nil, fmt.Errorf("replica %d listed twice (%s, %s)", id, prev, addr)
+		}
+		peers[dkv.ReplicaID(id)] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers in %q", s)
+	}
+	return peers, nil
 }

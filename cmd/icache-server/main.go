@@ -35,6 +35,17 @@ import (
 )
 
 // parsePeers decodes "1=host:port,2=host:port" into a peer address map.
+// splitAddrs parses a comma-separated address list, trimming blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 func parsePeers(s string) (map[dkv.NodeID]string, error) {
 	out := make(map[dkv.NodeID]string)
 	if s == "" {
@@ -83,7 +94,7 @@ func main() {
 		slowReq   = flag.Duration("slow-request-threshold", 0, "log GetBatch serves slower than this (0 disables; at most one line per 10s)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof and /debug/obs on the metrics address (requires -metrics-addr)")
 		nodeID    = flag.Int("node-id", -1, "distributed mode: this node's ID (requires -dir)")
-		dirAddr   = flag.String("dir", "", "distributed mode: directory service address (see icache-dkv)")
+		dirAddr   = flag.String("dir", "", "distributed mode: directory service address, or a comma-separated replica list for a partitioned directory (see icache-dkv)")
 		peers     = flag.String("peers", "", "distributed mode: comma-separated id=addr peer list, e.g. 1=host:7820,2=host2:7820")
 		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "distributed mode: membership lease duration in the directory")
 		beatEvery = flag.Duration("heartbeat-interval", 0, "distributed mode: lease renewal period (default lease-ttl/4)")
@@ -166,15 +177,29 @@ func main() {
 		if *nodeID < 0 {
 			log.Fatalf("icache-server: -dir requires -node-id")
 		}
-		dirClient, err := dkv.DialDir(*dirAddr, 5*time.Second)
-		if err != nil {
-			log.Fatalf("icache-server: directory: %v", err)
+		// -dir accepts a comma-separated replica list for a partitioned
+		// directory (see icache-dkv -peers); a single address keeps the
+		// legacy one-directory client.
+		var dirSvc dkv.Service
+		if dirAddrs := splitAddrs(*dirAddr); len(dirAddrs) > 1 {
+			sharded, err := dkv.DialSharded(dirAddrs, 5*time.Second, dkv.ShardedConfig{FailoverTTL: *leaseTTL})
+			if err != nil {
+				log.Fatalf("icache-server: directory: %v", err)
+			}
+			dirSvc = sharded
+			log.Printf("icache-server: sharded directory across %d replicas", len(dirAddrs))
+		} else {
+			dirClient, err := dkv.DialDir(*dirAddr, 5*time.Second)
+			if err != nil {
+				log.Fatalf("icache-server: directory: %v", err)
+			}
+			dirSvc = dirClient
 		}
 		peerMap, err := parsePeers(*peers)
 		if err != nil {
 			log.Fatalf("icache-server: %v", err)
 		}
-		srv.EnableDistributed(dkv.NodeID(*nodeID), dirClient, peerMap)
+		srv.EnableDistributed(dkv.NodeID(*nodeID), dirSvc, peerMap)
 		srv.SetPeerConfig(rpc.PeerConfig{Batch: *peerBatch, Inflight: *peerInfl})
 		if *peerBatch > 0 {
 			log.Printf("icache-server: distributed node %d, directory %s, %d peers (batched peer reads, <=%d samples/RPC)",

@@ -38,12 +38,36 @@ func FuzzDirDispatch(f *testing.F) {
 	f.Add([]byte{opLookupBatch, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 9})
 	f.Add([]byte{opLookupBatch, 0, 0, 0, 2, 0, 0, 0, 0})
 	f.Add([]byte{opLookupBatch, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Ring-view exchange: well-formed (sender 1 offers epoch 2 over replicas
+	// {0,1}), truncated replica list, and an absurd ring size that must trip
+	// the "unreasonable ring size" guard.
+	f.Add([]byte{opRingView,
+		0, 0, 0, 0, 0, 0, 0, 1, // sender
+		0, 0, 0, 0, 0, 0, 0, 2, // epoch
+		0, 0, 0, 2, // n
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{opRingView, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 2})
+	f.Add([]byte{opRingView, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{opRingView})
+	// Shard hand-off: well-formed (sender 1 pushes epoch 3 over {1} with a
+	// sweep cap), missing cap, truncated.
+	f.Add([]byte{opHandoff,
+		0, 0, 0, 0, 0, 0, 0, 1, // sender
+		0, 0, 0, 0, 0, 0, 0, 3, // epoch
+		0, 0, 0, 1, // n
+		0, 0, 0, 0, 0, 0, 0, 1, // replica 1
+		0, 0, 0, 16}) // max
+	f.Add([]byte{opHandoff, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{opHandoff, 0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0x01, 0x02})
 
 	f.Fuzz(func(t *testing.T, req []byte) {
 		// Fresh state per input: a fuzzed Register must not grow one shared
-		// lease map without bound across the whole run.
+		// lease map without bound across the whole run. Replica mode is on so
+		// the ring opcodes exercise their real handlers (the exchange loop is
+		// not running, so the configured peer is never dialed).
 		srv := NewDirServer(NewDirectory())
+		srv.EnableReplica(ReplicaConfig{Self: 0, Peers: map[ReplicaID]string{1: "127.0.0.1:1"}})
 		srv.dir.Register(2, 0)
 		srv.dir.Claim(7, 2)
 

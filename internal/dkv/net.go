@@ -50,6 +50,10 @@ const (
 type DirServer struct {
 	dir *Directory
 
+	// rep is the ring-membership state when the server runs as one replica
+	// of a partitioned directory (see replica.go); nil on legacy servers.
+	rep *replicaState
+
 	ln      net.Listener
 	conns   sync.WaitGroup
 	connMu  sync.Mutex
@@ -297,6 +301,38 @@ func (s *DirServer) dispatchInto(req []byte, e *wire.Buffer) {
 		}
 		e.U8(statusOK)
 		e.I64(int64(s.dir.PurgeDead(max)))
+	case opRingView:
+		if s.rep == nil {
+			dirError(e, errors.New("dkv: not in replica mode"))
+			return
+		}
+		sender, remote, err := decodeRingView(d)
+		if err != nil {
+			dirError(e, err)
+			return
+		}
+		view := s.handleRingView(sender, remote)
+		e.U8(statusOK)
+		encodeRingView(e, s.rep.self, view)
+	case opHandoff:
+		if s.rep == nil {
+			dirError(e, errors.New("dkv: not in replica mode"))
+			return
+		}
+		sender, remote, err := decodeRingView(d)
+		if err != nil {
+			dirError(e, err)
+			return
+		}
+		max := int(d.U32())
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		dropped, epoch := s.handleHandoff(sender, remote, max)
+		e.U8(statusOK)
+		e.I64(int64(dropped))
+		e.I64(int64(epoch))
 	default:
 		dirError(e, fmt.Errorf("dkv: unknown opcode %d", op))
 	}
@@ -306,6 +342,15 @@ func dirError(e *wire.Buffer, err error) {
 	e.U8(statusErr)
 	e.Str(err.Error())
 }
+
+// ServerError is an application-level statusErr reply: the transport round
+// trip succeeded and the server answered with an error. Distinguishing it
+// from transport failure matters to the ring — a ServerError proves the
+// peer is alive (e.g. a legacy server refusing a ring opcode).
+type ServerError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *ServerError) Error() string { return "dkv: server error: " + e.Msg }
 
 // DirClient is a node's connection to the directory service. It satisfies
 // the fallible Service contract (like the in-process Directory via Local),
@@ -422,7 +467,7 @@ func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
 	case statusOK:
 		return d, nil
 	case statusErr:
-		return nil, errors.New("dkv: server error: " + d.Str())
+		return nil, &ServerError{Msg: d.Str()}
 	default:
 		return nil, fmt.Errorf("dkv: unknown status %d", status)
 	}

@@ -1,0 +1,114 @@
+package dkv
+
+import (
+	"sort"
+
+	"icache/internal/dataset"
+)
+
+// The directory is sharded by sample ID across N dkv replicas so that no
+// single process carries every miss, scrub and heartbeat in the cluster —
+// and so that one replica's crash takes down 1/N of the metadata, not all
+// of it (ROADMAP item 1; Hoard runs exactly this distributed-metadata
+// layout for DNN training caches).
+//
+// Shard placement uses rendezvous (highest-random-weight) hashing: every
+// sample ID is owned by the live replica with the highest keyed hash score
+// for that ID. Rendezvous hashing gives the two properties the failover
+// story needs with no token tables to synchronize:
+//
+//   - Minimal remapping: removing one of N replicas remaps exactly the
+//     ~1/N of the key space that replica owned, and nothing else (keys
+//     owned by survivors keep their owner, because the survivor's score
+//     did not change). Adding a replica back steals only the keys it wins.
+//   - Determinism: placement is a pure function of (sample ID, live
+//     replica set), so every client and every replica computes the same
+//     owner from the same view with no coordination.
+//
+// A RingView is an epoch-numbered snapshot of the live replica set. Epochs
+// order views: whoever observes a membership change bumps the epoch, and
+// ring-view exchange (net.go's opRingView) lets replicas converge on the
+// highest epoch they have seen.
+
+// ReplicaID identifies one directory replica in a sharded deployment. It is
+// a separate space from NodeID: nodes are cache servers, replicas are
+// directory shard holders.
+type ReplicaID int
+
+// RingView is an epoch-numbered snapshot of the live directory replica
+// set. Replicas is sorted ascending and never aliased after construction;
+// the zero value (epoch 0, no replicas) is the "nothing known" view.
+type RingView struct {
+	Epoch    uint64
+	Replicas []ReplicaID
+}
+
+// NewRingView builds a view over the given replicas (copied, sorted,
+// deduplicated).
+func NewRingView(epoch uint64, replicas []ReplicaID) RingView {
+	rs := append([]ReplicaID(nil), replicas...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || r != rs[i-1] {
+			out = append(out, r)
+		}
+	}
+	return RingView{Epoch: epoch, Replicas: out}
+}
+
+// Contains reports whether r is in the view's live set.
+func (v RingView) Contains(r ReplicaID) bool {
+	for _, x := range v.Replicas {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two views carry the same replica set (epochs are
+// not compared: Equal answers "would placement differ?").
+func (v RingView) Equal(o RingView) bool {
+	if len(v.Replicas) != len(o.Replicas) {
+		return false
+	}
+	for i := range v.Replicas {
+		if v.Replicas[i] != o.Replicas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Owner reports the replica that owns id's shard under this view: the
+// rendezvous winner (highest keyed hash score, ties broken by the lower
+// replica ID for full determinism). ok is false when the view is empty —
+// the only condition under which a shard has no live holder.
+func (v RingView) Owner(id dataset.SampleID) (ReplicaID, bool) {
+	if len(v.Replicas) == 0 {
+		return 0, false
+	}
+	best := v.Replicas[0]
+	bestScore := rendezvousScore(id, best)
+	for _, r := range v.Replicas[1:] {
+		if s := rendezvousScore(id, r); s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best, true
+}
+
+// rendezvousScore is the keyed hash behind Owner. It must be a pure,
+// platform-independent function of (id, replica) — the whole cluster
+// computes placement with it — so it is a fixed splitmix64-style finalizer
+// over the two operands, not a seeded or map-order-dependent hash.
+func rendezvousScore(id dataset.SampleID, r ReplicaID) uint64 {
+	x := uint64(id)*0x9E3779B97F4A7C15 ^ uint64(r)*0xC2B2AE3D27D4EB4F
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

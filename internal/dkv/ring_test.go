@@ -1,0 +1,151 @@
+package dkv
+
+import (
+	"reflect"
+	"testing"
+
+	"icache/internal/dataset"
+)
+
+// ringKeys is the 10k-key sample set the ring property tests route.
+func ringKeys() []dataset.SampleID {
+	ids := make([]dataset.SampleID, 10_000)
+	for i := range ids {
+		ids[i] = dataset.SampleID(i)
+	}
+	return ids
+}
+
+func replicaSet(n int) []ReplicaID {
+	rs := make([]ReplicaID, n)
+	for i := range rs {
+		rs[i] = ReplicaID(i)
+	}
+	return rs
+}
+
+func ownersUnder(view RingView, ids []dataset.SampleID) map[dataset.SampleID]ReplicaID {
+	out := make(map[dataset.SampleID]ReplicaID, len(ids))
+	for _, id := range ids {
+		r, ok := view.Owner(id)
+		if !ok {
+			panic("no owner under non-empty view")
+		}
+		out[id] = r
+	}
+	return out
+}
+
+// TestRingRemapMinimal pins rendezvous hashing's headline property: removing
+// one of N replicas remaps EXACTLY the keys that replica owned (survivors'
+// keys keep their owner), and adding one back steals only the keys the
+// newcomer wins — so a membership change never remaps more than ~1/N of the
+// key space (plus slack for hash imbalance).
+func TestRingRemapMinimal(t *testing.T) {
+	ids := ringKeys()
+	for _, n := range []int{2, 3, 4, 8} {
+		full := NewRingView(1, replicaSet(n))
+		before := ownersUnder(full, ids)
+		for _, gone := range full.Replicas {
+			var without []ReplicaID
+			for _, r := range full.Replicas {
+				if r != gone {
+					without = append(without, r)
+				}
+			}
+			shrunk := NewRingView(2, without)
+			after := ownersUnder(shrunk, ids)
+			remapped := 0
+			for _, id := range ids {
+				if before[id] != after[id] {
+					remapped++
+					if before[id] != gone {
+						t.Fatalf("n=%d remove %d: key %d moved %d->%d but its owner survived",
+							n, gone, id, before[id], after[id])
+					}
+				}
+			}
+			// The removed replica owned ~len(ids)/n keys; allow 50% slack for
+			// hash imbalance. That still pins "≤ ~1/N", e.g. ≤ 1/2·1.5 = 75%
+			// at n=2 vs. the ~100% a naive mod-N rehash would remap.
+			bound := len(ids) * 3 / (2 * n)
+			if remapped > bound {
+				t.Errorf("n=%d remove %d: %d/%d keys remapped, want <= %d (~1/%d + slack)",
+					n, gone, remapped, len(ids), bound, n)
+			}
+			if remapped == 0 {
+				t.Errorf("n=%d remove %d: no keys remapped — replica owned nothing", n, gone)
+			}
+			// Adding the replica back restores the original placement bit for
+			// bit (placement is a pure function of the live set).
+			if got := ownersUnder(NewRingView(3, full.Replicas), ids); !reflect.DeepEqual(got, before) {
+				t.Fatalf("n=%d: re-adding replica %d did not restore placement", n, gone)
+			}
+		}
+	}
+}
+
+// TestRingRoutingDeterministic pins that routing is a pure function: the
+// same (key, view) pair yields the same owner across repeated runs and
+// across structurally equal views built in different ways.
+func TestRingRoutingDeterministic(t *testing.T) {
+	ids := ringKeys()
+	v1 := NewRingView(1, []ReplicaID{2, 0, 1, 3})
+	v2 := NewRingView(9, []ReplicaID{3, 2, 1, 0, 2}) // dup + different order/epoch
+	if !v1.Equal(v2) {
+		t.Fatalf("views with equal replica sets not Equal: %v vs %v", v1.Replicas, v2.Replicas)
+	}
+	a, b, c := ownersUnder(v1, ids), ownersUnder(v1, ids), ownersUnder(v2, ids)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated routing of the same view diverged")
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("routing differs between structurally equal views")
+	}
+}
+
+// TestRingBalance sanity-checks that rendezvous placement spreads the key
+// set roughly evenly — no replica may own more than twice or less than half
+// its fair share of 10k keys.
+func TestRingBalance(t *testing.T) {
+	ids := ringKeys()
+	for _, n := range []int{2, 3, 4, 8} {
+		view := NewRingView(1, replicaSet(n))
+		counts := make(map[ReplicaID]int)
+		for _, id := range ids {
+			r, _ := view.Owner(id)
+			counts[r]++
+		}
+		fair := len(ids) / n
+		for r, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("n=%d: replica %d owns %d keys, fair share %d", n, r, c, fair)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d replicas own keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingViewBasics pins the view container: construction sorts and
+// dedupes, Contains and Owner behave on the empty view.
+func TestRingViewBasics(t *testing.T) {
+	v := NewRingView(5, []ReplicaID{3, 1, 3, 2, 1})
+	if want := []ReplicaID{1, 2, 3}; !reflect.DeepEqual(v.Replicas, want) {
+		t.Fatalf("Replicas = %v, want %v", v.Replicas, want)
+	}
+	if v.Epoch != 5 {
+		t.Fatalf("Epoch = %d, want 5", v.Epoch)
+	}
+	if !v.Contains(2) || v.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	var empty RingView
+	if _, ok := empty.Owner(7); ok {
+		t.Fatal("empty view reported an owner")
+	}
+	if empty.Equal(v) || !empty.Equal(RingView{Epoch: 99}) {
+		t.Fatal("Equal wrong on empty views")
+	}
+}

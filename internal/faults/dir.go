@@ -10,15 +10,25 @@ import (
 )
 
 // Dir wraps any dkv.Service (the in-process dkv.Local, a network
-// dkv.DirClient, ...) with the fault schedule. Operations consult the
-// injector under OpDirLookup / OpDirClaim / OpDirRelease; Len is never
-// faulted (it is an observability call, not part of the data path).
+// dkv.DirClient, a single replica of a partitioned directory, ...) with the
+// fault schedule. Operations consult the injector under OpDirLookup /
+// OpDirClaim / OpDirRelease; Len is never faulted (it is an observability
+// call, not part of the data path).
 //
 // When a Clock is installed, decisions are virtual-time keyed (DecideAt),
 // which lets schedules express "partition the directory for epoch 3".
+//
+// Dir composes per replica: wrapping each replica of a sharded directory
+// with WrapDirScoped gives every wrapper its own operation namespace
+// (ScopedOp: "dir.lookup@r1", ...), so a partition rule can blind exactly
+// one replica while the others keep serving — and so each wrapper's call
+// counters advance independently, keeping stride-based rules on one replica
+// unaffected by traffic to its siblings. Unscoped wrappers keep the legacy
+// shared namespace.
 type Dir struct {
 	inner dkv.Service
 	inj   *Injector
+	scope string
 
 	// Clock, when non-nil, supplies the virtual time for time-keyed rules.
 	Clock func() simclock.Time
@@ -29,7 +39,26 @@ func WrapDir(inner dkv.Service, inj *Injector) *Dir {
 	return &Dir{inner: inner, inj: inj}
 }
 
+// WrapDirScoped attaches an injector under a scoped operation namespace:
+// every gate consults ScopedOp(op, scope) instead of the bare op. Use one
+// distinct scope per replica of a partitioned directory.
+func WrapDirScoped(inner dkv.Service, inj *Injector, scope string) *Dir {
+	return &Dir{inner: inner, inj: inj, scope: scope}
+}
+
+// ScopedOp is the operation name a scoped wrapper consults: "op@scope"
+// (the bare op when scope is empty). Rules targeting one replica use it:
+//
+//	faults.Partition(faults.ScopedOp(faults.OpDirLookup, "r1"), from, until, nil)
+func ScopedOp(op, scope string) string {
+	if scope == "" {
+		return op
+	}
+	return op + "@" + scope
+}
+
 func (d *Dir) decide(op string) Decision {
+	op = ScopedOp(op, d.scope)
 	if d.Clock != nil {
 		return d.inj.DecideAt(op, d.Clock())
 	}

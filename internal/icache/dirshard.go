@@ -1,0 +1,199 @@
+package icache
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/dkv"
+	"icache/internal/simclock"
+)
+
+// The simulation's partitioned directory: with ClusterConfig.DirReplicas >
+// 1 the cluster runs N in-process Directories — shards placed by rendezvous
+// hashing, exactly as N icache-dkv replicas would hold them — behind one
+// dkv.ShardedDir on the cluster's virtual clock. Each replica sits inside a
+// replicaHolder that the chaos suite can crash and restart: a killed
+// replica fails every operation (the ShardedDir observes the failure, fails
+// the shard over to the survivors, and retries inside the same call, so the
+// nodes above never see an error and the degraded count stays untouched); a
+// restarted replica comes back EMPTY — a crash loses directory state — and
+// is repopulated organically: once the ShardedDir re-probes it after one
+// FailoverTTL, its empty membership table rejects the next heartbeat, which
+// sends every node down the re-register + reconcile path it already uses
+// for lease lapses.
+
+// errDirReplicaDown is what a crashed simulated replica answers.
+var errDirReplicaDown = errors.New("icache: directory replica is down")
+
+// replicaHolder wraps one simulated directory replica with a kill switch.
+// The cluster drives it single-threaded on the virtual clock, so a plain
+// bool suffices.
+type replicaHolder struct {
+	dir  *dkv.Directory
+	down bool
+}
+
+func (h *replicaHolder) check() error {
+	if h.down {
+		return errDirReplicaDown
+	}
+	return nil
+}
+
+func (h *replicaHolder) Lookup(id dataset.SampleID) (dkv.NodeID, bool, error) {
+	if err := h.check(); err != nil {
+		return 0, false, err
+	}
+	n, ok := h.dir.Lookup(id)
+	return n, ok, nil
+}
+
+func (h *replicaHolder) LookupBatch(ids []dataset.SampleID) ([]dkv.Owner, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
+	return h.dir.LookupBatch(ids), nil
+}
+
+func (h *replicaHolder) Claim(id dataset.SampleID, node dkv.NodeID) (bool, error) {
+	if err := h.check(); err != nil {
+		return false, err
+	}
+	return h.dir.Claim(id, node), nil
+}
+
+func (h *replicaHolder) Release(id dataset.SampleID, node dkv.NodeID) (bool, error) {
+	if err := h.check(); err != nil {
+		return false, err
+	}
+	return h.dir.Release(id, node), nil
+}
+
+func (h *replicaHolder) Len() (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	return h.dir.Len(), nil
+}
+
+func (h *replicaHolder) Register(node dkv.NodeID, ttl time.Duration) (dkv.NodeInfo, error) {
+	if err := h.check(); err != nil {
+		return dkv.NodeInfo{}, err
+	}
+	return h.dir.Register(node, ttl), nil
+}
+
+func (h *replicaHolder) Heartbeat(node dkv.NodeID) (bool, error) {
+	if err := h.check(); err != nil {
+		return false, err
+	}
+	return h.dir.HeartbeatNode(node), nil
+}
+
+func (h *replicaHolder) ListNodes() ([]dkv.NodeInfo, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
+	return h.dir.ListNodes(), nil
+}
+
+func (h *replicaHolder) OwnedBy(node dkv.NodeID, max int) ([]dataset.SampleID, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
+	return h.dir.OwnedBy(node, max), nil
+}
+
+func (h *replicaHolder) PurgeDead(max int) (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	return h.dir.PurgeDead(max), nil
+}
+
+// newReplicaDir builds one simulated replica directory on the cluster's
+// virtual clock.
+func (cl *Cluster) newReplicaDir() *dkv.Directory {
+	d := dkv.NewDirectory()
+	d.SetClock(func() simclock.Time { return cl.vnow })
+	d.SetMembershipParams(cl.cfg.LeaseTTL, cl.cfg.SuspectWindow)
+	return d
+}
+
+// initShardedDir wires the cluster to DirReplicas simulated directory
+// replicas behind a ShardedDir (called from NewCluster when DirReplicas >
+// 1; cfg defaults are already applied).
+func (cl *Cluster) initShardedDir() {
+	cl.holders = make([]*replicaHolder, cl.cfg.DirReplicas)
+	replicas := make(map[dkv.ReplicaID]dkv.Service, cl.cfg.DirReplicas)
+	for r := range cl.holders {
+		h := &replicaHolder{dir: cl.newReplicaDir()}
+		cl.holders[r] = h
+		cl.rawDirs = append(cl.rawDirs, h.dir)
+		replicas[dkv.ReplicaID(r)] = h
+	}
+	cl.sharded = dkv.NewShardedDir(replicas, dkv.ShardedConfig{
+		FailoverTTL: cl.cfg.LeaseTTL,
+		Clock:       func() simclock.Time { return cl.vnow },
+	})
+	cl.dir = cl.sharded
+}
+
+// DirReplicaAlive reports whether simulated directory replica r is up.
+func (cl *Cluster) DirReplicaAlive(r int) bool {
+	cl.checkReplica(r)
+	return !cl.holders[r].down
+}
+
+// KillDirReplica crashes simulated directory replica r at virtual time at:
+// every subsequent operation routed to it fails until RestartDirReplica.
+// Killing a dead replica is a no-op. Only valid with DirReplicas > 1.
+func (cl *Cluster) KillDirReplica(r int, at simclock.Time) {
+	cl.checkReplica(r)
+	if at > cl.vnow {
+		cl.vnow = at
+	}
+	cl.holders[r].down = true
+}
+
+// RestartDirReplica boots crashed replica r at virtual time at with EMPTY
+// state — a directory crash loses the shard map and the membership table.
+// The ShardedDir re-admits the replica one FailoverTTL after it marked it
+// down, and the nodes' own lease machinery repopulates it: the revived
+// replica rejects their next heartbeat (no leases), forcing re-register +
+// reconcile, which re-claims every resident through the ring — claims for
+// this replica's shards land here. Restarting a live replica is an error.
+func (cl *Cluster) RestartDirReplica(r int, at simclock.Time) error {
+	cl.checkReplica(r)
+	h := cl.holders[r]
+	if !h.down {
+		return fmt.Errorf("icache: RestartDirReplica(%d): replica is already running", r)
+	}
+	if at > cl.vnow {
+		cl.vnow = at
+	}
+	h.dir = cl.newReplicaDir()
+	cl.rawDirs[r] = h.dir
+	h.down = false
+	return nil
+}
+
+// DirRing reports the sharded directory client's ring counters; ok is
+// false when the cluster runs a single (unsharded) directory.
+func (cl *Cluster) DirRing() (dkv.RingStats, bool) {
+	if cl.sharded == nil {
+		return dkv.RingStats{}, false
+	}
+	return cl.sharded.Ring(), true
+}
+
+func (cl *Cluster) checkReplica(r int) {
+	if cl.sharded == nil {
+		panic("icache: directory replica ops need ClusterConfig.DirReplicas > 1")
+	}
+	if r < 0 || r >= len(cl.holders) {
+		panic(fmt.Sprintf("icache: directory replica %d out of range [0,%d)", r, len(cl.holders)))
+	}
+}

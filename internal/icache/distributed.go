@@ -60,6 +60,12 @@ type ClusterConfig struct {
 	// DisableMembership turns lease registration, heartbeats and scrubbing
 	// off entirely (legacy static membership).
 	DisableMembership bool
+
+	// DirReplicas partitions the directory across this many simulated
+	// replicas (sharded by sample ID via rendezvous hashing, fronted by a
+	// dkv.ShardedDir — see dirshard.go). 0 or 1 keeps the legacy single
+	// in-process directory.
+	DirReplicas int
 }
 
 // DefaultClusterConfig mirrors the paper's cloud setup: per-node cache of
@@ -100,6 +106,8 @@ func (c ClusterConfig) Validate() error {
 		return fmt.Errorf("icache: negative ScrubBatch")
 	case c.DeferredReleaseCap < 0:
 		return fmt.Errorf("icache: negative DeferredReleaseCap")
+	case c.DirReplicas < 0:
+		return fmt.Errorf("icache: negative DirReplicas")
 	}
 	return nil
 }
@@ -155,6 +163,13 @@ type Cluster struct {
 	dir     dkv.Service
 	rawDir  *dkv.Directory
 	nodes   []*clusterNode
+
+	// Partitioned-directory state (DirReplicas > 1; see dirshard.go):
+	// rawDirs holds every replica's in-process Directory, holders their kill
+	// switches, sharded the replica-aware client installed as cl.dir.
+	rawDirs []*dkv.Directory
+	holders []*replicaHolder
+	sharded *dkv.ShardedDir
 
 	// inj, when set, is consulted (virtual-time keyed) before directory
 	// and peer operations; see SetFaultInjector.
@@ -257,7 +272,22 @@ func NewCluster(backend *storage.Backend, cfg ClusterConfig, iis sampling.IISCon
 	}
 	// Lease the directory onto the cluster's virtual clock and register
 	// every node at t=0 so lease expiry — and therefore reclaim — is
-	// deterministic for a given drive sequence.
+	// deterministic for a given drive sequence. With DirReplicas > 1 the
+	// single directory is replaced by N sharded replicas behind a
+	// ShardedDir, and registration fans out to every replica (each tracks
+	// node liveness independently for the shards it holds).
+	if cfg.DirReplicas > 1 {
+		cl.rawDir = nil
+		cl.initShardedDir()
+		if !cfg.DisableMembership {
+			for _, d := range cl.rawDirs {
+				for n := 0; n < cfg.Nodes; n++ {
+					d.Register(dkv.NodeID(n), cfg.LeaseTTL)
+				}
+			}
+		}
+		return cl, nil
+	}
 	rawDir.SetClock(func() simclock.Time { return cl.vnow })
 	rawDir.SetMembershipParams(cfg.LeaseTTL, cfg.SuspectWindow)
 	if !cfg.DisableMembership {

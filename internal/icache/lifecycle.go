@@ -373,11 +373,16 @@ func (cl *Cluster) RestartNode(node int, at simclock.Time, ckpt *NodeCheckpoint)
 }
 
 // Membership reports the cluster's node-lifecycle counters: the node-side
-// scrub and replay work merged with the directory's lease accounting.
+// scrub and replay work merged with the directory's lease accounting — in
+// a partitioned deployment, summed over every replica (each replica leases
+// every node, so e.g. Registers counts node×replica grants).
 func (cl *Cluster) Membership() metrics.MembershipStats {
 	ms := cl.mem
 	if cl.rawDir != nil {
 		ms.Add(cl.rawDir.Membership())
+	}
+	for _, d := range cl.rawDirs {
+		ms.Add(d.Membership())
 	}
 	return ms
 }

@@ -224,6 +224,179 @@ func TestLifecycleKillReclaimRejoin(t *testing.T) {
 	}
 }
 
+// shardedLifecycleCluster builds a 2-node cluster whose directory is three
+// simulated replicas behind a dkv.ShardedDir on the virtual clock.
+func shardedLifecycleCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	back, err := storage.NewBackend(chaosSpec(), storage.NFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lifecycleConfig(back.Spec().TotalBytes() / 5)
+	cfg.DirReplicas = 3
+	cl, err := NewCluster(back, cfg, sampling.DefaultIIS(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// dirFailoverSummary is everything the determinism check compares for the
+// partitioned-directory chaos scenario.
+type dirFailoverSummary struct {
+	Stats      metrics.CacheStats
+	Mem        metrics.MembershipStats
+	Requests   int64
+	DirLen     int
+	ReplicaLen [3]int
+}
+
+// runDirReplicaFailoverScenario kills one of three directory replicas
+// mid-epoch and pins the partitioned-directory acceptance criteria: the
+// nodes keep serving with a degraded-request delta of ZERO (the sharded
+// client fails the dead shards over inside the call), conservation stays
+// exact, failover is observed within one lease cycle, and a restarted
+// (empty) replica is repopulated organically through the heartbeat-reject →
+// re-register → reconcile path.
+func runDirReplicaFailoverScenario(t *testing.T, seed int64, victim int) dirFailoverSummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cl := shardedLifecycleCluster(t, seed)
+	tr := lifecycleTracker(t, rng)
+
+	var requests int64
+	ats := make([]simclock.Time, 2)
+	serve := func(node int, batch []dataset.SampleID) {
+		end, served := cl.FetchBatchOn(node, ats[node], batch)
+		if len(served) != len(batch) {
+			t.Fatalf("node %d served %d of %d", node, len(served), len(batch))
+		}
+		requests += int64(len(batch))
+		ats[node] = end
+	}
+	driveEpoch := func(e int) {
+		sched := cl.BeginEpoch(ats[0], e, tr, rng)
+		for i, b := range sched.Batches(128) {
+			serve(i%2, b)
+		}
+	}
+
+	// Epoch 0 against a healthy partitioned directory: claims spread over
+	// all three replicas by rendezvous routing.
+	driveEpoch(0)
+	if n := cl.rawDirs[victim].Len(); n == 0 {
+		t.Fatalf("replica %d owns no shard entries after warm-up; scenario proves nothing", victim)
+	}
+	assertClusterInvariants(t, cl, requests)
+
+	// Kill the victim mid-epoch 1. Everything after this point must be
+	// absorbed by the sharded client: zero degraded requests, no errors.
+	degradedBefore := cl.Stats().Degraded
+	sched := cl.BeginEpoch(ats[0], 1, tr, rng)
+	batches := sched.Batches(128)
+	var killedAt simclock.Time
+	for i, b := range batches {
+		if i == len(batches)/2 {
+			killedAt = ats[i%2]
+			cl.KillDirReplica(victim, killedAt)
+		}
+		serve(i%2, b)
+	}
+	if cl.DirReplicaAlive(victim) {
+		t.Fatalf("replica %d still alive after KillDirReplica", victim)
+	}
+
+	// Failover is client-observed and in-call: by the end of the epoch the
+	// ring has recorded it, and within one lease cycle of virtual time the
+	// routing view has settled on the two survivors.
+	ring, ok := cl.DirRing()
+	if !ok {
+		t.Fatal("DirRing reported no sharded directory")
+	}
+	if ring.Failovers < 1 {
+		t.Error("killing a replica mid-epoch recorded no failover")
+	}
+	leaseCycle := simclock.Time(cl.cfg.LeaseTTL + cl.cfg.SuspectWindow)
+	for e := 2; ats[0] < killedAt+leaseCycle; e++ {
+		if e >= 12 {
+			t.Fatalf("virtual time %v never passed one lease cycle after the kill", ats[0])
+		}
+		driveEpoch(e)
+	}
+	if ring, _ = cl.DirRing(); ring.LiveReplicas != 2 {
+		t.Errorf("one lease cycle after the kill the client sees %d live replicas, want 2", ring.LiveReplicas)
+	}
+
+	// The headline pin: a directory replica crash is invisible to the
+	// training job. Zero degraded requests, conservation exact.
+	if delta := cl.Stats().Degraded - degradedBefore; delta != 0 {
+		t.Errorf("replica crash degraded %d requests, want 0 (failover must absorb it)", delta)
+	}
+	assertClusterInvariants(t, cl, requests)
+
+	// Restart the victim empty and drive until the sharded client re-admits
+	// it (one FailoverTTL) and the nodes repopulate it: its fresh membership
+	// table rejects their heartbeats, forcing re-register + reconcile, whose
+	// claims land shard entries back on the revived replica.
+	rejectsBefore := cl.Membership().HeartbeatRejects
+	if err := cl.RestartDirReplica(victim, ats[0]); err != nil {
+		t.Fatal(err)
+	}
+	for e := 20; cl.rawDirs[victim].Len() == 0; e++ {
+		if e >= 32 {
+			t.Fatalf("restarted replica %d never repopulated (len=0 after %d epochs)",
+				victim, e-20)
+		}
+		driveEpoch(e)
+	}
+	if cl.Membership().HeartbeatRejects == rejectsBefore {
+		t.Error("revived empty replica never rejected a heartbeat — repopulation path untested")
+	}
+	if ring, _ = cl.DirRing(); ring.LiveReplicas != 3 {
+		t.Errorf("after restart the client sees %d live replicas, want 3", ring.LiveReplicas)
+	}
+	if got := cl.Stats().Degraded; got != degradedBefore {
+		t.Errorf("restart/repopulation degraded %d requests, want 0", got-degradedBefore)
+	}
+	assertClusterInvariants(t, cl, requests)
+
+	sum := dirFailoverSummary{
+		Stats:    cl.Stats(),
+		Mem:      cl.Membership(),
+		Requests: requests,
+	}
+	var err error
+	if sum.DirLen, err = cl.dir.Len(); err != nil {
+		t.Fatal(err)
+	}
+	for r := range sum.ReplicaLen {
+		sum.ReplicaLen[r] = cl.rawDirs[r].Len()
+	}
+	return sum
+}
+
+// TestChaosDirReplicaFailover is the cluster-simulation acceptance gate for
+// the partitioned directory: for three seeds (each killing a different
+// replica), the crash/failover/restart scenario keeps the degraded-request
+// delta at zero, preserves conservation, and is bit-for-bit deterministic
+// under repetition.
+func TestChaosDirReplicaFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short")
+	}
+	for i, seed := range []int64{1, 42, 1337} {
+		seed, victim := seed, i%3
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			leakcheck.Check(t)
+			first := runDirReplicaFailoverScenario(t, seed, victim)
+			second := runDirReplicaFailoverScenario(t, seed, victim)
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("same seed produced different runs:\n first: %+v\nsecond: %+v", first, second)
+			}
+		})
+	}
+}
+
 // TestRestartNodeDeniedClaimDropsLocalCopy pins the rejoin semantics: a
 // checkpoint entry another node now owns is dropped (no duplicate
 // residency), an unowned entry is re-claimed and restored.

@@ -52,6 +52,17 @@ func FuzzServerDispatch(f *testing.F) {
 	f.Add([]byte{opMuxReq, 0, 0, 0, 1, opPing})
 	f.Add([]byte{opMuxReq, 0, 0, 0})
 	f.Add([]byte{opPing, 0, 0, 0, 1})
+	// Directory-replica frames (dkv opcodes 12/13: ring-view exchange and
+	// shard hand-off) aimed at the cache port by a misconfigured replica:
+	// unknown opcodes here, must error-answer rather than hang or panic.
+	f.Add([]byte{12,
+		0, 0, 0, 0, 0, 0, 0, 1, // sender
+		0, 0, 0, 0, 0, 0, 0, 2, // epoch
+		0, 0, 0, 2, // n
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{13, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 16})
+	f.Add([]byte{12})
+	f.Add([]byte{13, 0xFF, 0xFF, 0xFF, 0xFF})
 
 	f.Fuzz(func(t *testing.T, req []byte) {
 		resp := srv.dispatch(req)
