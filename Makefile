@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir obs-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen loadgen-smoke obs-smoke experiments experiments-quick fuzz fuzz-short clean
 
-all: build vet test test-race chaos fuzz-short obs-smoke
+all: build vet test test-race chaos fuzz-short obs-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,23 @@ bench-dir:
 	$(GO) test -run NONE -bench 'DirSharded' -count=5 ./internal/dkv/ > /tmp/bench_dir.txt
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_dir.json < /tmp/bench_dir.txt
 
+# Open-loop load-harness gate (the PR 7 zero-copy hit path): an 8-client
+# hot-set saturation storm through internal/loadgen, archived as JSON and
+# then compared against the archived PR 5 baseline — the target FAILS when
+# samples/sec falls more than 10% below the baseline or allocs/op rises,
+# so the zero-copy win is a standing regression gate, not a one-off
+# measurement.
+bench-loadgen:
+	$(GO) test -run NONE -bench 'Loadgen' -benchmem -count=3 ./internal/loadgen/ > /tmp/bench_loadgen.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_loadgen.json < /tmp/bench_loadgen.txt
+	$(GO) run ./cmd/icache-benchjson -check BENCH_loadgen.json
+
+# Two-second self-contained loadgen smoke (boots its own server, drives a
+# short saturation run, fails on any request error): gates `make all` so
+# the harness binary itself cannot rot.
+loadgen-smoke:
+	$(GO) run ./cmd/icache-loadgen -smoke
+
 # Observability overhead benchmark (off vs histograms-armed vs every
 # request traced on the 8-client miss-heavy workload), archived as JSON.
 bench-obs:
@@ -96,6 +113,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDirDispatch -fuzztime 30s ./internal/dkv/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 15s ./internal/wire/
 	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/wire/
+	$(GO) test -fuzz FuzzVec -fuzztime 15s ./internal/wire/
 
 # Seed-corpus-only fuzz pass: runs every fuzz target's checked-in seeds as
 # plain tests (no exploration), fast enough to gate `make all` on. Covers
@@ -106,7 +124,7 @@ fuzz:
 fuzz-short:
 	$(GO) test -run 'FuzzServerDispatch' -count=1 ./internal/rpc/
 	$(GO) test -run 'FuzzDirDispatch' -count=1 ./internal/dkv/
-	$(GO) test -run 'FuzzReadFrame|FuzzReader' -count=1 ./internal/wire/
+	$(GO) test -run 'FuzzReadFrame|FuzzReader|FuzzVec' -count=1 ./internal/wire/
 
 clean:
 	$(GO) clean -testcache

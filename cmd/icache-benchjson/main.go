@@ -7,10 +7,18 @@
 //
 //	go test -bench . -benchmem ./internal/rpc/ | icache-benchjson -label after > bench.json
 //	go test -bench . ./internal/rpc/ | icache-benchjson -update BENCH_serving.json
+//	icache-benchjson -check BENCH_loadgen.json
 //
 // With -update, the run is written into the named combined document as its
 // "after" section, preserving the archived "before" (pre-optimisation)
 // measurements and prose; the file is created from scratch if missing.
+//
+// With -check, no input is read: the named archive's "after" section is
+// compared against its "before" baseline per benchmark name (means across
+// repeated -count entries) and the command exits non-zero when the after
+// run regressed — throughput (samples/sec) down more than 10%, or
+// allocations per op up by a whole allocation. This is the standing
+// regression gate `make bench-loadgen` runs right after re-measuring.
 //
 // Each benchmark result line of the form
 //
@@ -116,7 +124,16 @@ func parseEnvLine(line string, env map[string]string) bool {
 func main() {
 	label := flag.String("label", "", "label stored in the output document (e.g. before, after)")
 	update := flag.String("update", "", "write the run into this combined before/after archive as its 'after' section (preserving 'before') instead of printing to stdout")
+	check := flag.String("check", "", "compare the named archive's 'after' run against its 'before' baseline and exit non-zero on regression (no stdin read)")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkArchive(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "icache-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := Document{
 		Label:     *label,
@@ -159,6 +176,102 @@ func main() {
 		os.Exit(1)
 	}
 	os.Stdout.Write(append(out, '\n'))
+}
+
+// Regression thresholds for -check. Throughput is noisy run to run, so a
+// drop must exceed 10% of the baseline mean to fail; allocs/op is nearly
+// deterministic, so any rise of a whole allocation fails.
+const (
+	checkThroughputDrop = 0.10
+	checkAllocsRise     = 0.5
+)
+
+// benchMeans aggregates repeated -count entries of one document into mean
+// samples/sec and mean allocs/op per benchmark name (NaN when a metric was
+// never reported for that benchmark).
+type benchMeans struct {
+	samplesPerSec map[string]float64
+	allocsPerOp   map[string]float64
+}
+
+func meansOf(doc *Document) benchMeans {
+	sums := map[string]map[string]float64{}
+	counts := map[string]map[string]float64{}
+	for _, r := range doc.Results {
+		for _, metric := range []string{"samples/sec", "allocs/op"} {
+			v, ok := r.Metrics[metric]
+			if !ok {
+				continue
+			}
+			if sums[metric] == nil {
+				sums[metric] = map[string]float64{}
+				counts[metric] = map[string]float64{}
+			}
+			sums[metric][r.Name] += v
+			counts[metric][r.Name]++
+		}
+	}
+	m := benchMeans{samplesPerSec: map[string]float64{}, allocsPerOp: map[string]float64{}}
+	for name, s := range sums["samples/sec"] {
+		m.samplesPerSec[name] = s / counts["samples/sec"][name]
+	}
+	for name, s := range sums["allocs/op"] {
+		m.allocsPerOp[name] = s / counts["allocs/op"][name]
+	}
+	return m
+}
+
+// checkArchive compares the archive's after run against its before baseline
+// and returns an error describing every regression found. Benchmarks that
+// exist on only one side are skipped (renames must not fail the gate); a
+// passing comparison prints one line per benchmark so the gate's output
+// doubles as a throughput summary.
+func checkArchive(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var arch Combined
+	if err := json.Unmarshal(raw, &arch); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if arch.Before == nil || arch.After == nil {
+		return fmt.Errorf("%s: archive needs both 'before' and 'after' runs to compare", path)
+	}
+	before, after := meansOf(arch.Before), meansOf(arch.After)
+	var regressions []string
+	compared := 0
+	for name, b := range before.samplesPerSec {
+		a, ok := after.samplesPerSec[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		compared++
+		ratio := a / b
+		fmt.Fprintf(os.Stderr, "icache-benchjson: %s: %.0f -> %.0f samples/sec (%.2fx)\n", name, b, a, ratio)
+		if ratio < 1-checkThroughputDrop {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: samples/sec fell %.1f%% (%.0f -> %.0f)", name, (1-ratio)*100, b, a))
+		}
+	}
+	for name, b := range before.allocsPerOp {
+		a, ok := after.allocsPerOp[name]
+		if !ok {
+			continue
+		}
+		compared++
+		if a > b+checkAllocsRise {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op rose %.1f -> %.1f", name, b, a))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s: no comparable benchmarks between before and after", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("regression vs %s baseline:\n  %s", arch.Before.Label, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // updateArchive merges doc into the combined archive at path as its

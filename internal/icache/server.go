@@ -328,6 +328,16 @@ func (s *Server) FetchBatch(at simclock.Time, ids []dataset.SampleID) (simclock.
 	return s.FetchBatchRouted(at, ids, s.hlist)
 }
 
+// FetchBatchInto is FetchBatch appending the served IDs into *dst, reusing
+// its capacity — the RPC serving hot path calls this once per request with
+// a pooled scratch slice, so the policy verdict allocates nothing.
+func (s *Server) FetchBatchInto(at simclock.Time, ids []dataset.SampleID, dst *[]dataset.SampleID) simclock.Time {
+	for _, id := range ids {
+		at = s.fetchOne(at, id, s.hlist, dst)
+	}
+	return at
+}
+
 // FetchBatchRouted is FetchBatch with an explicit routing H-list: requests
 // branch H vs L according to routing (the requesting job's own importance
 // view — H-samples are never substituted, Algorithm 1), while admission and

@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/rpc"
+	"icache/internal/sampling"
+)
+
+// BenchmarkLoadgen is the standing regression gate for the serving hot
+// path (archived via `make bench-loadgen` into BENCH_loadgen.json): eight
+// open-loop connections storm a 64-sample hot set that is fully resident,
+// so every request is a pure cache hit and the measured ceiling is the
+// serving path itself — framing, copies, allocations, syscalls — not the
+// backend. One benchmark iteration is one GetBatch of 16 samples; the
+// headline metric is samples/sec at saturation.
+func BenchmarkLoadgen(b *testing.B) {
+	const (
+		hotSet = 64
+		batch  = 16
+		conns  = 8
+	)
+	spec := dataset.Spec{Name: "loadgen", NumSamples: 4096, MeanSampleBytes: 16384, Seed: 7}
+	addr := startServer(b, 0, spec)
+
+	// Warm: raise the hot set's importance and fetch it once so the whole
+	// set is resident before the measured storm.
+	items := make([]sampling.Item, 0, hotSet)
+	hot := make([]dataset.SampleID, 0, hotSet)
+	for id := dataset.SampleID(0); id < hotSet; id++ {
+		items = append(items, sampling.Item{ID: id, IV: 5})
+		hot = append(hot, id)
+	}
+	c, err := rpc.Dial(addr, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.UpdateImportance(items); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.GetBatch(hot); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	rep, err := Run(Config{
+		Addr:        addr,
+		Conns:       conns,
+		Batch:       batch,
+		Rate:        0, // saturation
+		MaxRequests: int64(b.N),
+		Mix:         "uniform",
+		Keys:        hotSet,
+		Seed:        11,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		b.Fatalf("%d request errors", rep.Errors)
+	}
+	if rep.ElapsedSeconds > 0 {
+		b.ReportMetric(rep.SamplesPerSec, "samples/sec")
+		b.ReportMetric(rep.LatencyP99Ms, "p99-ms")
+	}
+}

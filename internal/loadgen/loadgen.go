@@ -1,0 +1,282 @@
+// Package loadgen is the open-loop load harness for the iCache serving
+// path: it drives a server with a fixed arrival schedule (requests are
+// issued when the schedule says so, never when the previous response
+// happens to return) and measures latency from each request's *scheduled*
+// start. That makes the numbers coordinated-omission-safe: when the server
+// stalls, the requests that should have been issued during the stall still
+// count their queueing delay, instead of silently thinning the arrival
+// stream the way a closed loop does (the wrk2 argument).
+//
+// Latencies record into the lock-striped, allocation-free obs.Histogram,
+// so the harness itself stays off the profile at six-figure request rates.
+// cmd/icache-loadgen wraps this package in flags; the Loadgen benchmark in
+// bench_test.go drives it at saturation for the archived BENCH_loadgen.json
+// regression gate.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/obs"
+	"icache/internal/rpc"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the cache server's TCP address.
+	Addr string
+	// Conns is the number of client connections (each with its own issuing
+	// goroutine and arrival schedule). Default 8.
+	Conns int
+	// Batch is the GetBatch size. Default 16.
+	Batch int
+	// Rate is the offered load in samples/sec across all connections.
+	// <= 0 means saturation: requests are scheduled back-to-back, which
+	// degenerates into a closed loop probing the server's capacity.
+	Rate float64
+	// Duration bounds the measured run in wall time (0 = unbounded; then
+	// MaxRequests must be set).
+	Duration time.Duration
+	// MaxRequests bounds the measured run in issued requests across all
+	// connections (0 = unbounded; then Duration must be set).
+	MaxRequests int64
+	// Mix selects the key distribution: "uniform", "zipf" (rank-frequency
+	// skew ZipfS), or "diurnal" (a hot window rotating over the keyspace,
+	// the shift-change pattern of a shared training cluster). Default zipf.
+	Mix string
+	// ZipfS is the zipf skew exponent (> 1). Default 1.2.
+	ZipfS float64
+	// Keys is the requested keyspace: ids are drawn from [0, Keys).
+	Keys int
+	// Seed makes the uniform/zipf arrival sequence deterministic.
+	Seed int64
+	// Warmup runs the same workload unrecorded for this long before the
+	// measured run (cache fill, connection establishment, JIT-ish warmth).
+	Warmup time.Duration
+	// DialTimeout bounds each connection dial. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		return c, fmt.Errorf("loadgen: Addr required")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Mix == "" {
+		c.Mix = "zipf"
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Keys <= 0 {
+		return c, fmt.Errorf("loadgen: Keys must be > 0")
+	}
+	if c.Duration <= 0 && c.MaxRequests <= 0 {
+		return c, fmt.Errorf("loadgen: one of Duration or MaxRequests must be set")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c, nil
+}
+
+// Report is the outcome of one load run. All latency figures are measured
+// from the scheduled start of each request (coordinated-omission-safe).
+type Report struct {
+	Conns       int     `json:"conns"`
+	Batch       int     `json:"batch"`
+	Mix         string  `json:"mix"`
+	Keys        int     `json:"keys"`
+	OfferedRate float64 `json:"offered_samples_per_sec,omitempty"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Requests       int64   `json:"requests"`
+	Samples        int64   `json:"samples"`
+	Errors         int64   `json:"errors"`
+	// Behind counts requests that were issued late (the scheduled instant
+	// had already passed — the server, not the generator, was the
+	// bottleneck). At saturation every request is behind.
+	Behind        int64   `json:"behind"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+}
+
+// JSON renders the report as indented JSON.
+func (r Report) JSON() []byte {
+	out, _ := json.MarshalIndent(r, "", "  ")
+	return append(out, '\n')
+}
+
+// Run executes one load run and reports its measurements. The runner
+// dials Conns connections, replays Warmup unrecorded, then issues requests
+// on each connection's fixed schedule until Duration or MaxRequests is
+// exhausted, whichever comes first.
+func Run(cfg Config) (Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+
+	conns := make([]*rpc.Client, cfg.Conns)
+	for i := range conns {
+		c, err := rpc.Dial(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			for _, p := range conns[:i] {
+				p.Close()
+			}
+			return Report{}, fmt.Errorf("loadgen: dial conn %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Per-connection inter-arrival gap: the total offered rate split
+	// evenly. Zero gap = saturation probing.
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		perConnReqRate := cfg.Rate / float64(cfg.Batch) / float64(cfg.Conns)
+		interval = time.Duration(float64(time.Second) / perConnReqRate)
+	}
+
+	if cfg.Warmup > 0 {
+		runPhase(cfg, conns, interval, cfg.Warmup, 0, nil)
+	}
+
+	hist := obs.NewHistogram()
+	counters := &runCounters{}
+	start := time.Now()
+	runPhase(cfg, conns, interval, cfg.Duration, cfg.MaxRequests, &measured{hist: hist, c: counters})
+	elapsed := time.Since(start).Seconds()
+
+	rep := Report{
+		Conns:          cfg.Conns,
+		Batch:          cfg.Batch,
+		Mix:            cfg.Mix,
+		Keys:           cfg.Keys,
+		OfferedRate:    cfg.Rate,
+		ElapsedSeconds: elapsed,
+		Requests:       atomic.LoadInt64(&counters.requests),
+		Samples:        atomic.LoadInt64(&counters.samples),
+		Errors:         atomic.LoadInt64(&counters.errors),
+		Behind:         atomic.LoadInt64(&counters.behind),
+	}
+	if elapsed > 0 {
+		rep.SamplesPerSec = float64(rep.Samples) / elapsed
+	}
+	snap := hist.Snapshot()
+	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep.LatencyMeanMs = toMs(snap.Mean())
+	rep.LatencyP50Ms = toMs(snap.P50())
+	rep.LatencyP95Ms = toMs(snap.P95())
+	rep.LatencyP99Ms = toMs(snap.P99())
+	rep.LatencyMaxMs = toMs(snap.Max())
+	return rep, nil
+}
+
+// runCounters aggregates the run's atomics.
+type runCounters struct {
+	requests int64
+	samples  int64
+	errors   int64
+	behind   int64
+}
+
+// measured carries the recording sinks of the measured phase (nil during
+// warmup: same loop, nothing recorded).
+type measured struct {
+	hist *obs.Histogram
+	c    *runCounters
+}
+
+// runPhase drives every connection for one phase (warmup or measured).
+// budget is the shared request budget (0 = unbounded).
+func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration, budget int64, m *measured) {
+	var issued int64 // shared budget counter
+	start := time.Now()
+	var deadline time.Time
+	if duration > 0 {
+		deadline = start.Add(duration)
+	}
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn *rpc.Client) {
+			defer wg.Done()
+			mix := newMix(cfg, i, start)
+			ids := make([]dataset.SampleID, cfg.Batch)
+			// Borrowed-read sink: counts the batch without retaining the
+			// samples, so the client recycles each response frame and the
+			// lane stays allocation-free per request. One closure per lane,
+			// hoisted out of the issue loop.
+			var got int64
+			sink := func(samples []rpc.Sample) error {
+				got = int64(len(samples))
+				return nil
+			}
+			// Stagger connection phases so arrivals interleave instead of
+			// thundering together at each tick.
+			offset := time.Duration(0)
+			if interval > 0 {
+				offset = interval * time.Duration(i) / time.Duration(len(conns))
+			}
+			for k := int64(0); ; k++ {
+				// At saturation (no interval) the schedule degenerates to
+				// "now": the loop is closed and latency equals service time.
+				var sched time.Time
+				if interval > 0 {
+					sched = start.Add(offset + interval*time.Duration(k))
+				} else {
+					sched = time.Now()
+				}
+				if !deadline.IsZero() && sched.After(deadline) {
+					return
+				}
+				if budget > 0 && atomic.AddInt64(&issued, 1) > budget {
+					return
+				}
+				now := time.Now()
+				if wait := sched.Sub(now); wait > 0 {
+					time.Sleep(wait)
+				} else if m != nil {
+					atomic.AddInt64(&m.c.behind, 1)
+				}
+				mix.fill(ids)
+				got = 0
+				err := conn.GetBatchFunc(ids, sink)
+				if m == nil {
+					continue
+				}
+				// Open-loop latency: completion minus *scheduled* start, so
+				// time spent waiting behind a stalled server is charged to
+				// every request the stall delayed.
+				m.hist.Record(time.Since(sched))
+				atomic.AddInt64(&m.c.requests, 1)
+				if err != nil {
+					atomic.AddInt64(&m.c.errors, 1)
+					continue
+				}
+				atomic.AddInt64(&m.c.samples, got)
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,214 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/rpc"
+	"icache/internal/sampling"
+	"icache/internal/storage"
+)
+
+// startServer spins a full serving stack on loopback with the given
+// backend service time and returns its address.
+func startServer(t testing.TB, backendLatency time.Duration, spec dataset.Spec) string {
+	t.Helper()
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := icache.DefaultConfig(spec.TotalBytes() / 4)
+	cfg.EnableLCache = false
+	cacheSrv, err := icache.NewServer(back, cfg, sampling.DefaultIIS(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := storage.NewDataSource(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src rpc.ByteSource = inner
+	if backendLatency > 0 {
+		src = &stallSource{inner: inner, latency: backendLatency}
+	}
+	srv := rpc.NewServer(cacheSrv, src)
+	srv.Logf = nil
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+type stallSource struct {
+	inner   rpc.ByteSource
+	latency time.Duration
+}
+
+func (s *stallSource) Spec() dataset.Spec { return s.inner.Spec() }
+
+func (s *stallSource) Fetch(id dataset.SampleID) ([]byte, error) {
+	time.Sleep(s.latency)
+	return s.inner.Fetch(id)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                // no addr
+		{Addr: "x"},                       // no keys
+		{Addr: "x", Keys: 10},             // no duration and no request budget
+		{Keys: 10, Duration: time.Second}, // no addr
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	good := Config{Addr: "x", Keys: 10, Duration: time.Second}
+	got, err := good.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Conns != 8 || got.Batch != 16 || got.Mix != "zipf" || got.ZipfS <= 1 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	spec := dataset.Spec{Name: "lgsmoke", NumSamples: 256, MeanSampleBytes: 512, Seed: 7}
+	addr := startServer(t, 0, spec)
+	rep, err := Run(Config{
+		Addr:     addr,
+		Conns:    4,
+		Batch:    8,
+		Rate:     50000,
+		Duration: 300 * time.Millisecond,
+		Mix:      "zipf",
+		Keys:     spec.NumSamples,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Samples == 0 {
+		t.Fatalf("no traffic recorded: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	if rep.Samples != rep.Requests*int64(rep.Batch) {
+		t.Fatalf("samples %d != requests %d * batch %d", rep.Samples, rep.Requests, rep.Batch)
+	}
+	if rep.SamplesPerSec <= 0 || rep.LatencyP50Ms <= 0 || rep.LatencyMaxMs < rep.LatencyP99Ms {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+}
+
+// TestMixDeterminism: uniform and zipf mixes replay identically for the
+// same seed and connection index, and diverge across connections.
+func TestMixDeterminism(t *testing.T) {
+	for _, mix := range []string{"uniform", "zipf"} {
+		cfg := Config{Mix: mix, Keys: 1024, Seed: 42, ZipfS: 1.2}
+		start := time.Now()
+		a := make([]dataset.SampleID, 256)
+		b := make([]dataset.SampleID, 256)
+		newMix(cfg, 3, start).fill(a)
+		newMix(cfg, 3, start).fill(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed+conn diverged at %d", mix, i)
+			}
+		}
+		newMix(cfg, 4, start).fill(b)
+		same := 0
+		for i := range a {
+			if a[i] == b[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different conns produced identical streams", mix)
+		}
+	}
+}
+
+// TestZipfSkew: the zipf mix concentrates traffic on low ranks — the top
+// 10%% of the keyspace must absorb well over its uniform share.
+func TestZipfSkew(t *testing.T) {
+	cfg := Config{Mix: "zipf", Keys: 1000, ZipfS: 1.2, Seed: 9}
+	m := newMix(cfg, 0, time.Now())
+	ids := make([]dataset.SampleID, 4096)
+	hot := 0
+	for r := 0; r < 8; r++ {
+		m.fill(ids)
+		for _, id := range ids {
+			if int(id) >= cfg.Keys {
+				t.Fatalf("id %d outside keyspace", id)
+			}
+			if int(id) < cfg.Keys/10 {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(8*len(ids))
+	if frac < 0.4 {
+		t.Fatalf("zipf top-decile share %.2f; expected heavy skew", frac)
+	}
+}
+
+// TestDiurnalWindow: the diurnal mix confines ~90%% of a fill to a rotating
+// hot window, so a burst of draws touches far fewer distinct keys than a
+// uniform mix would.
+func TestDiurnalWindow(t *testing.T) {
+	cfg := Config{Mix: "diurnal", Keys: 4096, Seed: 5}
+	m := newMix(cfg, 0, time.Now())
+	ids := make([]dataset.SampleID, 1024)
+	m.fill(ids)
+	distinct := map[dataset.SampleID]bool{}
+	for _, id := range ids {
+		if int(id) >= cfg.Keys {
+			t.Fatalf("id %d outside keyspace", id)
+		}
+		distinct[id] = true
+	}
+	// Uniform draws would land ~900 distinct keys; the windowed mix stays
+	// near window size (256) plus the 10% background.
+	if len(distinct) > 600 {
+		t.Fatalf("diurnal fill touched %d distinct keys; window not hot", len(distinct))
+	}
+}
+
+// TestOpenLoopChargesStall is the coordinated-omission check: against a
+// server whose backend is far slower than the arrival interval, measured
+// latency must grow with the backlog (latency from *scheduled* start),
+// not sit at the service time the way a closed loop would report.
+func TestOpenLoopChargesStall(t *testing.T) {
+	spec := dataset.Spec{Name: "lgstall", NumSamples: 4096, MeanSampleBytes: 256, Seed: 7}
+	const service = 50 * time.Millisecond
+	addr := startServer(t, service, spec)
+	rep, err := Run(Config{
+		Addr:     addr,
+		Conns:    1,
+		Batch:    1,
+		Rate:     200, // 5ms arrival interval vs 50ms service time
+		Duration: 400 * time.Millisecond,
+		Mix:      "uniform", // distinct cold keys: every request pays the backend
+		Keys:     spec.NumSamples,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Behind == 0 {
+		t.Fatalf("no requests flagged behind schedule: %+v", rep)
+	}
+	if rep.LatencyMaxMs < 3*float64(service/time.Millisecond) {
+		t.Fatalf("max latency %.1fms does not charge the backlog (service %.0fms): %+v",
+			rep.LatencyMaxMs, float64(service/time.Millisecond), rep)
+	}
+}

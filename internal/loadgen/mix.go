@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"icache/internal/dataset"
+)
+
+// keyMix generates the sample IDs one connection requests. Each connection
+// owns a private mix instance (seeded deterministically from Config.Seed
+// and the connection index) so the generator never serializes on a shared
+// RNG at high request rates.
+type keyMix interface {
+	fill(ids []dataset.SampleID)
+}
+
+func newMix(cfg Config, conn int, start time.Time) keyMix {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(conn+1)*0x9E3779B97F4A7C15)))
+	switch cfg.Mix {
+	case "uniform":
+		return &uniformMix{rng: rng, keys: cfg.Keys}
+	case "diurnal":
+		w := cfg.Keys / 16
+		if w < 16 {
+			w = 16
+		}
+		if w > cfg.Keys {
+			w = cfg.Keys
+		}
+		return &diurnalMix{rng: rng, keys: cfg.Keys, window: w, start: start}
+	default: // "zipf"
+		if cfg.Keys < 2 {
+			return &uniformMix{rng: rng, keys: cfg.Keys}
+		}
+		return &zipfMix{z: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))}
+	}
+}
+
+// uniformMix draws each key independently from [0, keys).
+type uniformMix struct {
+	rng  *rand.Rand
+	keys int
+}
+
+func (m *uniformMix) fill(ids []dataset.SampleID) {
+	for i := range ids {
+		ids[i] = dataset.SampleID(m.rng.Intn(m.keys))
+	}
+}
+
+// zipfMix draws keys with rank-frequency skew s: rank r appears with
+// probability ∝ 1/(1+r)^s — the canonical importance-sampling access
+// pattern where a small hot set absorbs most of the traffic.
+type zipfMix struct {
+	z *rand.Zipf
+}
+
+func (m *zipfMix) fill(ids []dataset.SampleID) {
+	for i := range ids {
+		ids[i] = dataset.SampleID(m.z.Uint64())
+	}
+}
+
+// diurnalMix models a hot window drifting over the keyspace during the
+// run — the access pattern of importance sampling as the sampler's
+// interest shifts between epochs. 90% of keys land in a window of
+// `window` keys whose base slides through the full keyspace once per
+// rotation period; the remaining 10% are uniform background traffic.
+type diurnalMix struct {
+	rng    *rand.Rand
+	keys   int
+	window int
+	start  time.Time
+}
+
+// diurnalPeriod is the time the hot window takes to sweep the entire
+// keyspace once.
+const diurnalPeriod = 10 * time.Second
+
+func (m *diurnalMix) fill(ids []dataset.SampleID) {
+	frac := float64(time.Since(m.start)%diurnalPeriod) / float64(diurnalPeriod)
+	base := int(frac * float64(m.keys))
+	for i := range ids {
+		if m.rng.Intn(10) == 0 {
+			ids[i] = dataset.SampleID(m.rng.Intn(m.keys))
+			continue
+		}
+		ids[i] = dataset.SampleID((base + m.rng.Intn(m.window)) % m.keys)
+	}
+}

@@ -166,9 +166,23 @@ type ServingStats struct {
 	PrefetchWorkers    int64 // gauge: configured pool size (the Fig. 15 knob)
 	BufferGets         int64 // pooled-buffer checkouts on the wire path
 	BufferAllocs       int64 // checkouts that had to allocate (pool miss)
+	BufferDiscards     int64 // buffer returns dropped at the pooled-capacity cap
+	VecGets            int64 // pooled vectored-frame checkouts on the wire path
+	VecAllocs          int64 // vectored-frame checkouts that had to allocate
+	VecDiscards        int64 // vectored-frame returns dropped at the pooled-capacity cap
 	PeerBatchRPCs      int64 // scatter-gather opPeerGetBatch round trips issued
 	PeerBatchSamples   int64 // samples carried by those batched peer RPCs
 	MuxInflight        int64 // gauge: multiplexed request frames currently being served
+
+	// Slab payload-store counters (the zero-copy hit path): slab arena
+	// lifecycle plus the byte gauges an operator sizes DRAM with.
+	SlabAllocs   int64 // arena slabs carved from the heap
+	SlabRecycled int64 // drained slabs returned to the free list
+	SlabAdopted  int64 // payload buffers adopted zero-copy as dedicated slabs
+	SlabFreed    int64 // slabs released to the garbage collector
+	SlabBytes    int64 // gauge: bytes currently held by slabs (arena + adopted)
+	PayloadBytes int64 // gauge: bytes of live (resident) payloads
+	PayloadPins  int64 // payload reads pinned zero-copy from the store
 }
 
 // Add accumulates o's counters into s. Gauges (queue depth, worker count)
@@ -183,9 +197,20 @@ func (s *ServingStats) Add(o ServingStats) {
 	s.PrefetchWorkers = o.PrefetchWorkers
 	s.BufferGets += o.BufferGets
 	s.BufferAllocs += o.BufferAllocs
+	s.BufferDiscards += o.BufferDiscards
+	s.VecGets += o.VecGets
+	s.VecAllocs += o.VecAllocs
+	s.VecDiscards += o.VecDiscards
 	s.PeerBatchRPCs += o.PeerBatchRPCs
 	s.PeerBatchSamples += o.PeerBatchSamples
 	s.MuxInflight = o.MuxInflight
+	s.SlabAllocs += o.SlabAllocs
+	s.SlabRecycled += o.SlabRecycled
+	s.SlabAdopted += o.SlabAdopted
+	s.SlabFreed += o.SlabFreed
+	s.SlabBytes = o.SlabBytes
+	s.PayloadBytes = o.PayloadBytes
+	s.PayloadPins += o.PayloadPins
 }
 
 // PeerBatchFill reports the average number of samples per batched peer RPC

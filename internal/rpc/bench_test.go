@@ -133,6 +133,65 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	}
 }
 
+// discardConn satisfies net.Conn over a sink — the server-side hit-path
+// benchmark drives the vectored serving path against it so the measurement
+// isolates serve-side work (no client, no loopback socket).
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkServeHitPath measures the server-side cost of one pure-hit
+// GetBatch on the zero-copy path: request decode, policy verdict, slab
+// pins, vectored framing, write. Run with -benchmem: the headline
+// acceptance number is 0 allocs/op — a resident batch is served without a
+// single heap allocation.
+func BenchmarkServeHitPath(b *testing.B) {
+	const (
+		batchSize = 16
+		hotSet    = 64
+	)
+	srv, addr, _ := benchServer(b, 0)
+
+	var items []sampling.Item
+	var hot []dataset.SampleID
+	for id := dataset.SampleID(0); id < hotSet; id++ {
+		items = append(items, sampling.Item{ID: id, IV: 5})
+		hot = append(hot, id)
+	}
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.UpdateImportance(items); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.GetBatch(hot); err != nil {
+		b.Fatal(err)
+	}
+
+	ids := make([]dataset.SampleID, batchSize)
+	rng := rand.New(rand.NewSource(17))
+	for j := range ids {
+		ids[j] = dataset.SampleID(rng.Intn(hotSet))
+	}
+	req := encodeGetBatchRequest(ids)
+	cs := &muxConnState{conn: discardConn{}, sem: make(chan struct{}, muxServerInflight)}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.serveVecRequest(cs, 0, false, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/elapsed, "samples/sec")
+	}
+}
+
 // BenchmarkObsOverhead pins the cost of the observability layer on the
 // concurrent serving path. Three configurations run the exact workload of
 // BenchmarkServeConcurrent/clients=8:

@@ -36,7 +36,10 @@ func (s *Server) LoadCheckpoint(r io.Reader, rehydrate bool) error {
 		if err != nil {
 			return fmt.Errorf("rpc: rehydrate sample %d: %w", id, err)
 		}
-		s.payloads.put(id, payload)
+		// Arena admission: the fetch buffer dies right here, so the copy
+		// into a recyclable slab is safe AND packs the whole warm set into
+		// slab-class blocks instead of len(residents) loose heap objects.
+		s.payloads.putCopy(id, payload)
 	}
 	return nil
 }

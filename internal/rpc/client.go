@@ -14,6 +14,7 @@ import (
 	"icache/internal/retry"
 	"icache/internal/sampling"
 	"icache/internal/trace"
+	"icache/internal/wire"
 )
 
 // Client is the framework-side iCache client module (the role the paper's
@@ -194,38 +195,54 @@ func (c *Client) Resilience() (retries, redials int64) {
 // immediately. The transport per attempt is whatever the latest handshake
 // negotiated: pipelined frames on a mux session, or a serial exchange.
 func (c *Client) roundTrip(req []byte) (*reader, error) {
+	d, _, err := c.roundTripOwned(req)
+	// The pooled backing buffer (if any) is intentionally dropped, not
+	// recycled: this path hands decoded bytes out by reference with an
+	// unbounded lifetime. Borrowed-read callers use roundTripOwned.
+	return d, err
+}
+
+// roundTripOwned is roundTrip, additionally returning the pooled buffer
+// backing the response when the transport read into one (nil otherwise).
+// A caller that can prove it retains nothing from the reader recycles the
+// buffer with wire.PutBuffer; status errors recycle it internally.
+func (c *Client) roundTripOwned(req []byte) (*reader, *wire.Buffer, error) {
 	var t0 time.Time
 	if c.rtHist != nil {
 		t0 = time.Now()
 		defer func() { c.rtHist.Since(t0) }()
 	}
 	var resp []byte
+	var owner *wire.Buffer
 	retried := false
 	err := retry.Do(c.policy, c.rng, c.sleep, func(attempt int) error {
 		if attempt > 0 {
 			retried = true
 		}
-		r, err := c.attempt(req, attempt > 0)
+		r, o, err := c.attempt(req, attempt > 0)
 		if err != nil {
 			return err
 		}
-		resp = r
+		resp, owner = r, o
 		return nil
 	})
 	if retried {
 		atomic.AddInt64(&c.retries, 1)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d := newReader(resp)
 	switch status := d.u8(); status {
 	case statusOK:
-		return d, nil
+		return d, owner, nil
 	case statusErr:
-		return nil, fmt.Errorf("rpc: server error: %s", d.str())
+		err := fmt.Errorf("rpc: server error: %s", d.str())
+		wire.PutBuffer(owner)
+		return nil, nil, err
 	default:
-		return nil, fmt.Errorf("rpc: unknown status %d", status)
+		wire.PutBuffer(owner)
+		return nil, nil, fmt.Errorf("rpc: unknown status %d", status)
 	}
 }
 
@@ -242,29 +259,31 @@ func (c *Client) roundTrip(req []byte) (*reader, error) {
 // per-connection I/O patterns (the chaos suite's DropEvery rules) would
 // otherwise hit a freshly handshaken session at the same relative offset on
 // every retry.
-func (c *Client) attempt(req []byte, isRetry bool) ([]byte, error) {
+func (c *Client) attempt(req []byte, isRetry bool) ([]byte, *wire.Buffer, error) {
 	if c.Muxed() {
 		if isRetry {
-			return c.oneShotSerial(req)
+			resp, err := c.oneShotSerial(req)
+			return resp, nil, err
 		}
 		sess, fresh, err := c.muxSessionFor()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if sess != nil {
-			resp, err := sess.do(req)
+			resp, owner, err := sess.doOwned(req)
 			if err != nil {
 				c.muxFailed(sess)
-				return nil, err
+				return nil, nil, err
 			}
-			return resp, nil
+			return resp, owner, nil
 		}
 		// The redial negotiated DOWN (server restarted into a legacy
 		// binary): a fresh serial connection is already installed, use it.
 		_ = fresh
 		isRetry = false
 	}
-	return c.serialAttempt(req, isRetry)
+	resp, err := c.serialAttempt(req, isRetry)
+	return resp, nil, err
 }
 
 // oneShotSerial performs one exchange on a private dial-and-close
@@ -426,6 +445,67 @@ func (c *Client) GetBatch(ids []dataset.SampleID) ([]Sample, error) {
 		return nil, fmt.Errorf("rpc: got %d samples for %d requests", len(samples), len(ids))
 	}
 	return samples, nil
+}
+
+// sampleSlicePool recycles the decoded-sample scratch slices GetBatchFunc
+// hands to its callback. Stored as pointers so checkouts don't re-box the
+// slice header.
+var sampleSlicePool = sync.Pool{New: func() interface{} {
+	s := make([]Sample, 0, 64)
+	return &s
+}}
+
+// GetBatchFunc fetches a mini-batch and hands the decoded samples to fn
+// instead of returning them. The samples — every ID and Payload slice —
+// are valid ONLY for the duration of the callback: they alias a pooled
+// response buffer that is recycled the moment fn returns, so a caller that
+// needs bytes afterwards must copy them inside fn. In exchange, a warm
+// round trip on the multiplexed transport performs no per-request frame
+// allocation on the client: the demux reader's pooled buffer is checked
+// out, decoded, consumed, and returned. Training loops that decode each
+// payload straight into a framework tensor (and the load harness, which
+// only counts bytes) fit this contract exactly; use GetBatch when sample
+// lifetimes are unbounded.
+func (c *Client) GetBatchFunc(ids []dataset.SampleID, fn func([]Sample) error) error {
+	e := wire.GetBuffer()
+	e.U8(opGetBatch)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.I64(int64(id))
+	}
+	req := e.B
+	ctx := c.beginTrace()
+	var t0 time.Time
+	if ctx.Valid() {
+		req = WrapTraced(req, ctx.Next())
+		t0 = time.Now()
+	}
+	d, owner, err := c.roundTripOwned(req)
+	wire.PutBuffer(e) // every attempt copies req before writing; safe to recycle now
+	if ctx.Valid() {
+		c.tracer.RecordSpan(time.Since(c.obsStart), trace.KindRPCSend, 0,
+			spanArgPeer, ctx.ID, ctx.Hop, time.Since(t0))
+	}
+	if err != nil {
+		return err
+	}
+	scratch := sampleSlicePool.Get().(*[]Sample)
+	samples, err := decodeGetBatchResponseInto(d, (*scratch)[:0])
+	if err == nil && len(samples) != len(ids) {
+		err = fmt.Errorf("rpc: got %d samples for %d requests", len(samples), len(ids))
+	}
+	if err == nil {
+		err = fn(samples)
+	}
+	// Drop the payload references before pooling the scratch slice, then
+	// recycle the frame buffer the payloads aliased.
+	for i := range samples {
+		samples[i] = Sample{}
+	}
+	*scratch = samples[:0]
+	sampleSlicePool.Put(scratch)
+	wire.PutBuffer(owner)
+	return err
 }
 
 // UpdateImportance pushes the job's H-list to the server (the paper's

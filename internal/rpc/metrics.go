@@ -76,8 +76,18 @@ func (s *Server) ServingStats() metrics.ServingStats {
 		out.PrefetchQueueDepth = int64(p.depth())
 		out.PrefetchWorkers = int64(p.workers)
 	}
-	gets, news := wire.PoolStats()
-	out.BufferGets, out.BufferAllocs = gets, news
+	gets, news, discards := wire.PoolStats()
+	out.BufferGets, out.BufferAllocs, out.BufferDiscards = gets, news, discards
+	vgets, vnews, vdiscards := wire.VecPoolStats()
+	out.VecGets, out.VecAllocs, out.VecDiscards = vgets, vnews, vdiscards
+	sl := s.payloads.slabStats()
+	out.SlabAllocs = sl.allocs
+	out.SlabRecycled = sl.recycled
+	out.SlabAdopted = sl.adopted
+	out.SlabFreed = sl.freed
+	out.SlabBytes = sl.slabBytes
+	out.PayloadBytes = sl.liveBytes
+	out.PayloadPins = sl.pins
 	out.PeerBatchRPCs, out.PeerBatchSamples = s.PeerBatchStats()
 	out.MuxInflight = s.MuxInflight()
 	return out

@@ -49,11 +49,22 @@ import (
 	"icache/internal/wire"
 )
 
-// muxResult is one demuxed response (or the session-level failure).
+// muxResult is one demuxed response (or the session-level failure). owner,
+// when non-nil, is the pooled buffer backing resp: a caller that can prove
+// the response is not retained (the borrowed-read API) recycles it via
+// wire.PutBuffer; callers that hand response bytes out by reference simply
+// drop it, which degrades to today's fresh-allocation-per-frame behavior.
 type muxResult struct {
-	resp []byte
-	err  error
+	resp  []byte
+	owner *wire.Buffer
+	err   error
 }
+
+// muxChanPool recycles the capacity-1 result channels. A channel is only
+// recycled on paths that RECEIVED from it (after delivery nothing can be
+// sent again: the pending entry is gone); a channel abandoned by forget may
+// still receive a racing delivery, so it is dropped, never pooled.
+var muxChanPool = sync.Pool{New: func() interface{} { return make(chan muxResult, 1) }}
 
 // muxSession is one multiplexed connection generation. A broken session is
 // never repaired: the owning Client discards it and dials a fresh one (the
@@ -96,18 +107,30 @@ func newMuxSession(conn net.Conn, inflightCap int) *muxSession {
 }
 
 // do sends one request frame and blocks until the demux reader delivers its
-// response (or the session dies). Safe for unbounded concurrent use.
+// response (or the session dies). Safe for unbounded concurrent use. The
+// response is handed out by reference, so its pooled backing buffer is
+// dropped rather than recycled.
 func (m *muxSession) do(req []byte) ([]byte, error) {
+	resp, _, err := m.doOwned(req)
+	return resp, err
+}
+
+// doOwned is do, additionally returning the pooled buffer that backs the
+// response (nil when the read path had to allocate outside the pool). The
+// caller recycles it with wire.PutBuffer once — and only once — it is done
+// with every byte of resp.
+func (m *muxSession) doOwned(req []byte) ([]byte, *wire.Buffer, error) {
 	if m.inflight != nil {
 		m.inflight <- struct{}{}
 		defer func() { <-m.inflight }()
 	}
-	ch := make(chan muxResult, 1)
+	ch := muxChanPool.Get().(chan muxResult)
 	m.mu.Lock()
 	if m.err != nil {
 		err := m.err
 		m.mu.Unlock()
-		return nil, err
+		muxChanPool.Put(ch)
+		return nil, nil, err
 	}
 	id := m.nextID
 	m.nextID++
@@ -124,10 +147,13 @@ func (m *muxSession) do(req []byte) ([]byte, error) {
 	wire.PutBuffer(e)
 	if err != nil {
 		m.forget(id)
-		return nil, fmt.Errorf("rpc: mux send: %w", err)
+		return nil, nil, fmt.Errorf("rpc: mux send: %w", err)
 	}
 	res := <-ch
-	return res.resp, res.err
+	// Delivery is exactly-once (the pending entry was removed before the
+	// send), so after a receive the drained channel is safe to reuse.
+	muxChanPool.Put(ch)
+	return res.resp, res.owner, res.err
 }
 
 // forget retires a request ID whose frame never made it out. The reader may
@@ -145,11 +171,18 @@ func (m *muxSession) forget(id uint32) {
 func (m *muxSession) readLoop() {
 	defer close(m.done)
 	for {
-		frame, err := wire.ReadFrame(m.conn)
+		// Read each frame into a pooled buffer: the steady-state hot path
+		// (borrowed reads) returns it after decoding, so the demux reader
+		// stops being a large-allocation-per-response source. Callers that
+		// retain response bytes simply never recycle their buffer and the
+		// pool re-allocates — correctness never depends on the recycle.
+		e := wire.GetBuffer()
+		frame, err := wire.ReadFrameInto(m.conn, e.B[:cap(e.B)])
 		if err != nil {
 			m.fail(fmt.Errorf("rpc: mux receive: %w", err))
 			return
 		}
+		e.B = frame
 		if len(frame) < muxHeaderLen || frame[0] != opMuxReq {
 			m.fail(fmt.Errorf("rpc: mux: malformed response frame (%d bytes)", len(frame)))
 			return
@@ -162,9 +195,7 @@ func (m *muxSession) readLoop() {
 		delete(m.pending, id)
 		m.mu.Unlock()
 		if ch != nil {
-			// frame is a fresh allocation per ReadFrame; the body may be
-			// handed to the caller by reference.
-			ch <- muxResult{resp: frame[muxHeaderLen:]}
+			ch <- muxResult{resp: frame[muxHeaderLen:], owner: e}
 		}
 		// An unknown ID is a response to a request we already forgot
 		// (write raced the failure path); drop it and keep reading.

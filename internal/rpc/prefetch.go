@@ -98,7 +98,12 @@ func (p *prefetcher) worker() {
 		case it := <-p.q:
 			p.s.obs.prefetchWt.Since(it.at)
 			id := it.id
-			if _, ok := p.s.payloads.get(id); ok {
+			// Existence probe only — has() touches no payload bytes and takes
+			// no refcount, where a shared get would copy arena-resident bytes
+			// just to throw them away. The fetched payload itself is admitted
+			// through resolvePayload → admit → adopt: the fetch buffer becomes
+			// the slab with zero additional copies.
+			if p.s.payloads.has(id) {
 				atomic.AddInt64(&p.completed, 1)
 				continue
 			}

@@ -99,6 +99,19 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Counter("icache_peer_batch_rpcs_total", "scatter-gather peer batch round trips issued", float64(sv.PeerBatchRPCs))
 	p.Counter("icache_peer_batch_samples_total", "samples carried by batched peer RPCs", float64(sv.PeerBatchSamples))
 	p.Gauge("icache_mux_inflight", "multiplexed request frames currently being served", float64(sv.MuxInflight))
+	p.Counter("icache_buffer_pool_discards_total", "pooled-buffer returns dropped for exceeding the retained-capacity cap", float64(sv.BufferDiscards))
+	p.Counter("icache_vec_pool_gets_total", "pooled response-vector checkouts on the zero-copy path", float64(sv.VecGets))
+	p.Counter("icache_vec_pool_allocs_total", "vector checkouts that had to allocate (pool miss)", float64(sv.VecAllocs))
+	p.Counter("icache_vec_pool_discards_total", "vector returns dropped for exceeding the retained-capacity cap", float64(sv.VecDiscards))
+
+	// Slab payload-store family (zero-copy hit path).
+	p.Counter("icache_slab_allocs_total", "arena slabs carved from the heap", float64(sv.SlabAllocs))
+	p.Counter("icache_slab_recycled_total", "arena slabs recycled after their last reader drained", float64(sv.SlabRecycled))
+	p.Counter("icache_slab_adopted_total", "payloads adopted zero-copy as dedicated slabs", float64(sv.SlabAdopted))
+	p.Counter("icache_slab_freed_total", "dedicated slabs released to the garbage collector", float64(sv.SlabFreed))
+	p.Gauge("icache_slab_bytes", "bytes held in arena slabs (including the freelist)", float64(sv.SlabBytes))
+	p.Gauge("icache_payload_bytes", "bytes of live payload entries in the store", float64(sv.PayloadBytes))
+	p.Counter("icache_payload_pins_total", "reader pins taken on slab-backed payloads", float64(sv.PayloadPins))
 
 	// Per-stage latency histograms (nil registry emits nothing).
 	p.Registry("icache_stage", s.obs.reg)

@@ -104,15 +104,21 @@ func encodeGetBatchRequest(ids []dataset.SampleID) []byte {
 }
 
 func decodeGetBatchRequest(d *reader) ([]dataset.SampleID, error) {
+	return decodeGetBatchRequestInto(d, nil)
+}
+
+// decodeGetBatchRequestInto appends the decoded ids to dst (reusing its
+// capacity) — the vectored serving path passes a pooled scratch slice so a
+// request decode allocates nothing.
+func decodeGetBatchRequestInto(d *reader, dst []dataset.SampleID) ([]dataset.SampleID, error) {
 	n := int(d.u32())
 	if n < 0 || n > 1<<20 {
 		return nil, fmt.Errorf("rpc: unreasonable batch size %d", n)
 	}
-	ids := make([]dataset.SampleID, 0, n)
 	for i := 0; i < n; i++ {
-		ids = append(ids, dataset.SampleID(d.i64()))
+		dst = append(dst, dataset.SampleID(d.i64()))
 	}
-	return ids, d.err()
+	return dst, d.err()
 }
 
 // encodePeerGetBatchRequest/decode pair. The request body is identical in
@@ -180,17 +186,26 @@ func encodeGetBatchResponseInto(e *buffer, samples []Sample) {
 }
 
 func decodeGetBatchResponse(d *reader) ([]Sample, error) {
+	return decodeGetBatchResponseInto(d, nil)
+}
+
+// decodeGetBatchResponseInto appends the decoded samples to dst (reusing
+// its capacity) — the borrowed-read client path passes a pooled scratch
+// slice so a response decode allocates nothing. Payloads alias the frame.
+func decodeGetBatchResponseInto(d *reader, dst []Sample) ([]Sample, error) {
 	n := int(d.u32())
-	samples := make([]Sample, 0, n)
+	if dst == nil {
+		dst = make([]Sample, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		id := dataset.SampleID(d.i64())
 		payload := d.bytes()
 		if d.err() != nil {
 			return nil, d.err()
 		}
-		samples = append(samples, Sample{ID: id, Payload: payload})
+		dst = append(dst, Sample{ID: id, Payload: payload})
 	}
-	return samples, d.err()
+	return dst, d.err()
 }
 
 func encodeUpdateImportanceRequest(items []sampling.Item) []byte {

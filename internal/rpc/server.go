@@ -250,6 +250,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.serveMuxFrame(cs, req)
 			continue
 		}
+		if len(req) > 0 && s.vecOp(req[0]) {
+			// Hot ops take the zero-copy path: pinned slab payloads framed
+			// as one vectored write, no response buffer.
+			if err := s.serveVecRequest(cs, 0, false, req); err != nil {
+				s.logIfUnexpected(err)
+				return
+			}
+			continue
+		}
 		wb := wire.GetBuffer()
 		e := buffer{Buffer: *wb}
 		s.dispatchInto(req, &e)
@@ -288,7 +297,33 @@ func (s *Server) serveMuxFrame(cs *muxConnState, req []byte) {
 	d := newReader(req)
 	d.u8() // opMuxReq (validated by the caller)
 	id := d.u32()
-	inner := append([]byte(nil), d.rest()...)
+	rest := d.rest()
+	if len(rest) > 0 && s.vecOp(rest[0]) {
+		// Zero-copy dispatch: decode the ids into a pooled scratch NOW (rest
+		// aliases the reusable read buffer) and hand the scratch — not the
+		// request bytes — to the handler goroutine. No request copy.
+		op := rest[0]
+		sc := getServeScratch()
+		di := newReader(rest)
+		di.u8()
+		ids, derr := decodeGetBatchRequestInto(di, sc.ids[:0])
+		sc.ids = ids
+		cs.sem <- struct{}{}
+		cs.wg.Add(1)
+		atomic.AddInt64(&s.muxInflight, 1)
+		go func() {
+			defer func() {
+				atomic.AddInt64(&s.muxInflight, -1)
+				<-cs.sem
+				cs.wg.Done()
+			}()
+			if err := s.serveVecDecoded(cs, id, true, op, sc, derr); err != nil {
+				s.logIfUnexpected(err)
+			}
+		}()
+		return
+	}
+	inner := append([]byte(nil), rest...)
 	cs.sem <- struct{}{}
 	cs.wg.Add(1)
 	atomic.AddInt64(&s.muxInflight, 1)

@@ -83,16 +83,28 @@ func TestBufferPoolRoundTrip(t *testing.T) {
 	if len(b2.B) != 0 {
 		t.Fatalf("recycled buffer not reset: len=%d", len(b2.B))
 	}
-	gets, news := PoolStats()
+	gets, news, _ := PoolStats()
 	if gets < 2 || news < 1 || news > gets {
 		t.Fatalf("implausible pool stats: gets=%d news=%d", gets, news)
 	}
 }
 
 func TestPutBufferDropsJumbo(t *testing.T) {
+	_, _, d0 := PoolStats()
 	b := &Buffer{B: make([]byte, 0, 2<<20)}
-	PutBuffer(b) // must not panic, must not retain (behavioral: no assert possible)
+	PutBuffer(b) // must not panic, must not retain
+	if _, _, d := PoolStats(); d != d0+1 {
+		t.Fatalf("jumbo return not counted as a discard: %d -> %d", d0, d)
+	}
 	PutBuffer(nil)
+	if _, _, d := PoolStats(); d != d0+1 {
+		t.Fatalf("nil return counted as a discard")
+	}
+	// A buffer at exactly the cap is kept.
+	PutBuffer(&Buffer{B: make([]byte, 0, maxPooledCap)})
+	if _, _, d := PoolStats(); d != d0+1 {
+		t.Fatalf("at-cap return dropped")
+	}
 }
 
 // BenchmarkReadFrame measures the allocating read path.

@@ -80,9 +80,15 @@ var (
 		atomic.AddInt64(&poolNews, 1)
 		return &Buffer{B: make([]byte, 0, 4096)}
 	}}
-	poolGets int64
-	poolNews int64
+	poolGets     int64
+	poolNews     int64
+	poolDiscards int64
 )
+
+// maxPooledCap is the largest backing array PutBuffer keeps. One jumbo
+// response must not poison the pool by pinning megabytes behind a pooled
+// pointer, so anything larger is dropped (and counted) instead of recycled.
+const maxPooledCap = 1 << 20
 
 // GetBuffer returns an empty encode buffer from the pool.
 func GetBuffer() *Buffer {
@@ -94,18 +100,24 @@ func GetBuffer() *Buffer {
 
 // PutBuffer recycles an encode buffer. The caller must not touch the
 // buffer (or any slice of its backing array) afterwards. Oversized buffers
-// are dropped so one jumbo response does not pin megabytes in the pool.
+// are dropped — and counted in PoolStats — so one jumbo response does not
+// pin megabytes in the pool.
 func PutBuffer(b *Buffer) {
-	if b == nil || cap(b.B) > 1<<20 {
+	if b == nil {
+		return
+	}
+	if cap(b.B) > maxPooledCap {
+		atomic.AddInt64(&poolDiscards, 1)
 		return
 	}
 	bufPool.Put(b)
 }
 
-// PoolStats reports (gets, news): total pooled-buffer checkouts and how
-// many of them had to allocate. gets-news is the number of reuses.
-func PoolStats() (gets, news int64) {
-	return atomic.LoadInt64(&poolGets), atomic.LoadInt64(&poolNews)
+// PoolStats reports (gets, news, discards): total pooled-buffer checkouts,
+// how many of them had to allocate, and how many returns were dropped for
+// exceeding the pooled-capacity cap. gets-news is the number of reuses.
+func PoolStats() (gets, news, discards int64) {
+	return atomic.LoadInt64(&poolGets), atomic.LoadInt64(&poolNews), atomic.LoadInt64(&poolDiscards)
 }
 
 // Buffer is a simple append-based encoder.
