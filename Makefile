@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen loadgen-smoke obs-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen bench-overload loadgen-smoke obs-smoke overload-smoke experiments experiments-quick fuzz fuzz-short clean
 
-all: build vet test test-race chaos fuzz-short obs-smoke loadgen-smoke
+all: build vet test test-race chaos fuzz-short obs-smoke overload-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -84,9 +84,29 @@ bench-dir:
 # so the zero-copy win is a standing regression gate, not a one-off
 # measurement.
 bench-loadgen:
-	$(GO) test -run NONE -bench 'Loadgen' -benchmem -count=3 ./internal/loadgen/ > /tmp/bench_loadgen.txt
+	$(GO) test -run NONE -bench 'Loadgen$$' -benchmem -count=3 ./internal/loadgen/ > /tmp/bench_loadgen.txt
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_loadgen.json < /tmp/bench_loadgen.txt
 	$(GO) run ./cmd/icache-benchjson -check BENCH_loadgen.json
+
+# Overload-control gate (the PR 8 admission/deadline/breaker work): a
+# slot-limited server with a latency-charging backend takes a 2x open-loop
+# storm through internal/loadgen. The headline samples/sec is GOODPUT —
+# on-time completions only — archived as JSON and compared against the
+# archived baseline, so the target FAILS when goodput under overload falls
+# more than 10% or allocs/op rises. The benchmark itself additionally
+# fails on queue collapse (storm goodput under 80% of the measured
+# capacity knee) or on a request-conservation leak.
+bench-overload:
+	$(GO) test -run NONE -bench 'LoadgenOverload' -benchmem -count=3 ./internal/loadgen/ > /tmp/bench_overload.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_overload.json < /tmp/bench_overload.txt
+	$(GO) run ./cmd/icache-benchjson -check BENCH_overload.json
+
+# Overload-control smoke: the admission gate / circuit breaker / deadline
+# unit surface plus the end-to-end shed and goodput classification paths.
+# Fast enough to gate `make all` on; -count=1 defeats the test cache.
+overload-smoke:
+	$(GO) test -count=1 ./internal/overload/
+	$(GO) test -count=1 -run 'TestAdmissionShed|TestDeadline|TestRunOverloadClassification|TestRunGoodputTracksDeadline' ./internal/rpc/ ./internal/loadgen/
 
 # Two-second self-contained loadgen smoke (boots its own server, drives a
 # short saturation run, fails on any request error): gates `make all` so

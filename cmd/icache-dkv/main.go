@@ -41,6 +41,7 @@ import (
 
 	"icache/internal/dkv"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/trace"
 )
 
@@ -55,11 +56,21 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated id=addr list of the OTHER directory replicas (e.g. 1=host2:7821,2=host3:7821); enables replica mode")
 	ringInterval := flag.Duration("ring-interval", time.Second, "how often replicas exchange ring views (replica mode)")
 	handoffBatch := flag.Int("handoff-batch", 4096, "max directory entries dropped per shard hand-off sweep (replica mode; 0 = unbounded)")
+	maxInfl := flag.Int("max-inflight", 0, "admission control: max concurrently admitted data-plane requests before shedding (0 disables the cap; liveness traffic is never gated)")
+	targetQD := flag.Duration("target-queue-delay", 0, "admission control: standing queue delay that triggers brownout/shedding, CoDel-style (0 disables the delay ladder)")
 	flag.Parse()
 
 	dir := dkv.NewDirectory()
 	dir.SetMembershipParams(*leaseTTL, *suspect)
 	srv := dkv.NewDirServer(dir)
+	if *maxInfl > 0 || *targetQD > 0 {
+		srv.SetAdmission(overload.NewGate(overload.GateConfig{
+			MaxInflight: *maxInfl,
+			TargetDelay: *targetQD,
+		}))
+		log.Printf("icache-dkv: admission gate armed (max-inflight=%d, target-queue-delay=%s)",
+			*maxInfl, *targetQD)
+	}
 
 	ringStop := make(chan struct{})
 	if *peersFlag != "" {

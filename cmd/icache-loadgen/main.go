@@ -42,6 +42,7 @@ func main() {
 		keys     = flag.Int("keys", 0, "keyspace size: ids drawn from [0, keys); required unless -smoke")
 		seed     = flag.Int64("seed", 1, "mix RNG seed")
 		warmup   = flag.Duration("warmup", 0, "unrecorded warmup before the measured run")
+		deadline = flag.Duration("deadline", 0, "per-request deadline measured from the scheduled start; responses past it count as expired, not goodput (0 = none)")
 		smoke    = flag.Bool("smoke", false, "self-contained smoke run against an in-process server")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		Keys:        *keys,
 		Seed:        *seed,
 		Warmup:      *warmup,
+		Deadline:    *deadline,
 	}
 
 	if *smoke {

@@ -28,6 +28,7 @@ import (
 	"icache/internal/dkv"
 	"icache/internal/icache"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/rpc"
 	"icache/internal/sampling"
 	"icache/internal/storage"
@@ -101,6 +102,10 @@ func main() {
 		scrubEvry = flag.Duration("scrub-interval", 0, "distributed mode: anti-entropy scrub period (default lease-ttl/2)")
 		peerBatch = flag.Int("peer-batch", 256, "distributed mode: max remote misses per batched peer read RPC; 0 falls back to serial per-sample peer reads")
 		peerInfl  = flag.Int("peer-inflight", 0, "distributed mode: max in-flight frames per multiplexed peer connection (0 selects the client default)")
+		maxInfl   = flag.Int("max-inflight", 0, "admission control: max concurrently admitted requests before shedding (0 disables the cap)")
+		targetQD  = flag.Duration("target-queue-delay", 0, "admission control: standing queue delay that triggers brownout/shedding, CoDel-style (0 disables the delay ladder)")
+		brkThresh = flag.Int("breaker-threshold", 0, "peer circuit breakers: consecutive failures before a peer trips open (0 selects the default; negative disables breakers)")
+		defDL     = flag.Duration("default-deadline", 0, "peer RPC deadline when a request carries no budget of its own (0 selects the 1s default)")
 	)
 	flag.Parse()
 
@@ -148,6 +153,14 @@ func main() {
 	}
 
 	srv := rpc.NewServer(cacheSrv, source)
+	if *maxInfl > 0 || *targetQD > 0 {
+		srv.SetAdmission(overload.NewGate(overload.GateConfig{
+			MaxInflight: *maxInfl,
+			TargetDelay: *targetQD,
+		}))
+		log.Printf("icache-server: admission gate armed (max-inflight=%d, target-queue-delay=%s)",
+			*maxInfl, *targetQD)
+	}
 	// Per-stage latency histograms ride with the metrics endpoint (they are
 	// what make the Prometheus view useful); cross-node span recording rides
 	// with -trace-csv, sharing the policy-event ring so one CSV holds the
@@ -193,6 +206,17 @@ func main() {
 			if err != nil {
 				log.Fatalf("icache-server: directory: %v", err)
 			}
+			// Directory lookups inherit the peer deadline/breaker knobs: a
+			// hung directory costs one bounded stall, then fails fast to
+			// local-only operation until a half-open probe recovers it.
+			if *defDL > 0 {
+				dirClient.SetRPCTimeout(*defDL)
+			} else {
+				dirClient.SetRPCTimeout(time.Second)
+			}
+			if *brkThresh >= 0 {
+				dirClient.SetBreaker(overload.BreakerConfig{Threshold: *brkThresh})
+			}
 			dirSvc = dirClient
 		}
 		peerMap, err := parsePeers(*peers)
@@ -200,7 +224,12 @@ func main() {
 			log.Fatalf("icache-server: %v", err)
 		}
 		srv.EnableDistributed(dkv.NodeID(*nodeID), dirSvc, peerMap)
-		srv.SetPeerConfig(rpc.PeerConfig{Batch: *peerBatch, Inflight: *peerInfl})
+		srv.SetPeerConfig(rpc.PeerConfig{
+			Batch:            *peerBatch,
+			Inflight:         *peerInfl,
+			RPCTimeout:       *defDL,
+			BreakerThreshold: *brkThresh,
+		})
 		if *peerBatch > 0 {
 			log.Printf("icache-server: distributed node %d, directory %s, %d peers (batched peer reads, <=%d samples/RPC)",
 				*nodeID, *dirAddr, len(peerMap), *peerBatch)

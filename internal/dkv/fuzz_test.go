@@ -60,6 +60,16 @@ func FuzzDirDispatch(f *testing.F) {
 	f.Add([]byte{opHandoff, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Add([]byte{opHandoff, 0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0x01, 0x02})
+	// Deadline envelopes (op 14): a generous budget around a lookup, a spent
+	// budget (must answer statusExpired without touching the directory), a
+	// nested envelope (must error), a truncated header, and an empty inner.
+	f.Add([]byte{opDeadline,
+		0, 0, 0, 0, 59, 154, 202, 0, // ~1s budget
+		opLookup, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{opDeadline, 0, 0, 0, 0, 0, 0, 0, 0, opLookup, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{opDeadline, 0, 0, 0, 0, 59, 154, 202, 0, opDeadline, 0, 0, 0, 0, 59, 154, 202, 0, opLookup})
+	f.Add([]byte{opDeadline, 0, 0, 0, 1})
+	f.Add([]byte{opDeadline, 0, 0, 0, 0, 59, 154, 202, 0})
 
 	f.Fuzz(func(t *testing.T, req []byte) {
 		// Fresh state per input: a fuzzed Register must not grow one shared
@@ -76,7 +86,11 @@ func FuzzDirDispatch(f *testing.F) {
 		if len(e.B) == 0 {
 			t.Fatal("empty response")
 		}
-		if e.B[0] != statusOK && e.B[0] != statusErr {
+		switch e.B[0] {
+		case statusOK, statusErr, statusExpired:
+		case statusRetryAfter:
+			t.Fatalf("retry-after with no admission gate installed")
+		default:
 			t.Fatalf("response status %d", e.B[0])
 		}
 	})

@@ -10,6 +10,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/retry"
 	"icache/internal/wire"
 )
@@ -63,6 +64,10 @@ type DirServer struct {
 	// obs is the optional observability state (see obs.go); zero value =
 	// everything off.
 	obs dirObs
+
+	// gate is the optional admission controller on data operations (see
+	// overload.go); nil = everything admitted.
+	gate *overload.Gate
 }
 
 // NewDirServer wraps dir for network service.
@@ -176,6 +181,42 @@ func (s *DirServer) serveConn(conn net.Conn) {
 func (s *DirServer) dispatchInto(req []byte, e *wire.Buffer) {
 	d := wire.NewReader(req)
 	op := d.U8()
+	if op == opDeadline {
+		budget := d.I64()
+		if d.Err != nil {
+			dirError(e, d.Err)
+			return
+		}
+		inner := d.B[d.Off:]
+		if len(inner) == 0 {
+			dirError(e, errors.New("dkv: empty deadline envelope"))
+			return
+		}
+		if inner[0] == opDeadline {
+			dirError(e, errors.New("dkv: nested deadline envelope"))
+			return
+		}
+		// The budget is the sender's remaining time at encode; directory
+		// work is sub-millisecond, so arrival with nothing left is the only
+		// expired case worth answering.
+		if budget <= 0 {
+			e.U8(statusExpired)
+			return
+		}
+		s.dispatchInto(inner, e)
+		return
+	}
+	// Admission: data operations only — liveness and gossip must survive
+	// overload (see overload.go).
+	if s.gate != nil && dirDataOp(op) {
+		ok, after := s.gate.Admit(time.Now())
+		if !ok {
+			e.U8(statusRetryAfter)
+			e.I64(int64(after))
+			return
+		}
+		defer s.gate.Done()
+	}
 	switch op {
 	case opLookup:
 		id := dataset.SampleID(d.I64())
@@ -373,6 +414,15 @@ type DirClient struct {
 
 	retries int64
 	redials int64
+
+	// rpcTimeout bounds each round trip via a connection deadline (see
+	// SetRPCTimeout; 0 = unbounded). breaker, when installed, fails calls
+	// fast while the directory is unresponsive (see SetBreaker). desynced
+	// marks the connection poisoned by a timeout mid-exchange (a response
+	// may still be in flight), forcing a redial before the next request.
+	rpcTimeout time.Duration
+	breaker    *overload.Breaker
+	desynced   bool
 }
 
 // DialDir connects to a directory service with the default retry policy.
@@ -432,8 +482,23 @@ func (c *DirClient) redial() error {
 }
 
 func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
+	return c.roundTripDeadline(req, time.Time{})
+}
+
+// roundTripDeadline is the round-trip core. A non-zero deadline (or, when
+// zero, the configured rpcTimeout) bounds each attempt's network wait via
+// a connection deadline, and the retry loop stops spawning attempts once
+// the deadline passes. The breaker (if installed) gates entry and absorbs
+// the outcome.
+func (c *DirClient) roundTripDeadline(req []byte, dl time.Time) (*wire.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if b := c.breaker; b != nil && !b.Allow(time.Now()) {
+		return nil, fmt.Errorf("dkv: %s: %w", c.addr, overload.ErrBreakerOpen)
+	}
+	if dl.IsZero() && c.rpcTimeout > 0 {
+		dl = time.Now().Add(c.rpcTimeout)
+	}
 	var resp []byte
 	retried := false
 	err := retry.Do(c.policy, c.rng, nil, func(attempt int) error {
@@ -442,15 +507,40 @@ func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
 		}
 		if attempt > 0 {
 			retried = true
+			if !dl.IsZero() && !time.Now().Before(dl) {
+				return retry.Permanent(fmt.Errorf("dkv: %s: retry budget spent: %w", c.addr, overload.ErrExpired))
+			}
 			if err := c.redial(); err != nil {
 				return fmt.Errorf("dkv: redial %s: %w", c.addr, err)
 			}
+			c.desynced = false
+		} else if c.desynced {
+			// A previous call timed out mid-exchange: the old connection may
+			// still deliver that stale response, so it must not be reused.
+			if err := c.redial(); err != nil {
+				return fmt.Errorf("dkv: redial %s: %w", c.addr, err)
+			}
+			c.desynced = false
+		}
+		if !dl.IsZero() {
+			c.conn.SetDeadline(dl)
+			defer c.conn.SetDeadline(time.Time{})
 		}
 		if err := wire.WriteFrame(c.conn, req); err != nil {
+			if isTimeoutErr(err) {
+				c.desynced = true
+				return retry.Permanent(fmt.Errorf("dkv: send: %w", err))
+			}
 			return fmt.Errorf("dkv: send: %w", err)
 		}
 		r, err := wire.ReadFrame(c.conn)
 		if err != nil {
+			if isTimeoutErr(err) {
+				// Request is out, response unread: the conn is desynchronized
+				// and a retry would only turn "late" into "later".
+				c.desynced = true
+				return retry.Permanent(fmt.Errorf("dkv: receive: %w", err))
+			}
 			return fmt.Errorf("dkv: receive: %w", err)
 		}
 		resp = r
@@ -460,16 +550,34 @@ func (c *DirClient) roundTrip(req []byte) (*wire.Reader, error) {
 		c.retries++
 	}
 	if err != nil {
+		c.reportBreakerLocked(err)
 		return nil, err
 	}
 	d := wire.NewReader(resp)
+	var callErr error
 	switch status := d.U8(); status {
 	case statusOK:
+		c.reportBreakerLocked(nil)
 		return d, nil
 	case statusErr:
-		return nil, &ServerError{Msg: d.Str()}
+		callErr = &ServerError{Msg: d.Str()}
+	case statusRetryAfter:
+		callErr = &overload.RetryAfterError{After: time.Duration(d.I64())}
+	case statusExpired:
+		callErr = errDirExpired
 	default:
-		return nil, fmt.Errorf("dkv: unknown status %d", status)
+		callErr = fmt.Errorf("dkv: unknown status %d", status)
+	}
+	c.reportBreakerLocked(callErr)
+	return nil, callErr
+}
+
+// reportBreakerLocked feeds one outcome to the breaker (mu held; the
+// Breaker has its own mutex but keeping the call under mu keeps the
+// install-before-share contract trivially safe).
+func (c *DirClient) reportBreakerLocked(err error) {
+	if b := c.breaker; b != nil {
+		b.Report(time.Now(), dirBreakerOutcomeOK(err))
 	}
 }
 

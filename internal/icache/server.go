@@ -3,6 +3,7 @@ package icache
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"icache/internal/dataset"
@@ -62,6 +63,12 @@ type Server struct {
 	// L-sample). nil = off; see SetSubstitutionScanHist.
 	subScanHist *obs.Histogram
 	epoch       int64
+
+	// subsOff (atomic 0/1) is the brownout switch: while set, the serving
+	// path skips substitute-selection scans entirely (misses go straight to
+	// the backend). Flipped from the admission gate's state-change hook,
+	// which runs concurrently with FetchBatch — hence atomic, not cfg.
+	subsOff int32
 }
 
 // NewServer builds an iCache server over the given backend.
@@ -218,6 +225,21 @@ func (s *Server) SetTracer(r *trace.Recorder) { s.tracer = r }
 // substitute-selection scan (nil detaches — recording into a nil histogram
 // is a no-op, so the disabled path costs one nil check).
 func (s *Server) SetSubstitutionScanHist(h *obs.Histogram) { s.subScanHist = h }
+
+// SetSubstitutionsDisabled flips the brownout switch: while disabled, the
+// serving path skips the substitute-selection scan (the costliest
+// discretionary work on the miss path) and misses read the backend
+// directly. Safe to call concurrently with FetchBatch.
+func (s *Server) SetSubstitutionsDisabled(off bool) {
+	var v int32
+	if off {
+		v = 1
+	}
+	atomic.StoreInt32(&s.subsOff, v)
+}
+
+// substitutionsDisabled reports the brownout switch state.
+func (s *Server) substitutionsDisabled() bool { return atomic.LoadInt32(&s.subsOff) == 1 }
 
 // Tracer returns the attached recorder, if any.
 func (s *Server) Tracer() *trace.Recorder { return s.tracer }
@@ -407,7 +429,7 @@ func (s *Server) fetchOne(at simclock.Time, id dataset.SampleID, routing *sampli
 	}
 	s.ld.recordMiss(id)
 
-	if s.cfg.Substitute != SubstituteNone {
+	if s.cfg.Substitute != SubstituteNone && !s.substitutionsDisabled() {
 		if sub, ok := s.pickSubstitute(); ok {
 			s.stats.Substitutions++
 			s.tracer.Record(at, trace.KindSubstitute, id, int64(sub))

@@ -15,7 +15,9 @@
 package loadgen
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,6 +25,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/rpc"
 )
 
@@ -60,6 +63,12 @@ type Config struct {
 	Warmup time.Duration
 	// DialTimeout bounds each connection dial. Default 5s.
 	DialTimeout time.Duration
+	// Deadline is the per-request budget, measured from each request's
+	// SCHEDULED start (open-loop: a request issued late has already burned
+	// part of its budget). The budget propagates to the server in the wire
+	// envelope, so overloaded servers drop unservable work instead of
+	// answering it late. 0 = no deadline (the historic behavior).
+	Deadline time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -102,12 +111,29 @@ type Report struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	Requests       int64   `json:"requests"`
 	Samples        int64   `json:"samples"`
-	Errors         int64   `json:"errors"`
+	// Errors counts transport-level failures only. Overload rejections are
+	// classed separately below — a server that sheds cleanly under storm is
+	// behaving, not erroring, and the distinction is the whole point of the
+	// overload harness: Requests == successes + Errors + Shed + Expired.
+	Errors int64 `json:"errors"`
+	// Shed counts requests the server rejected with a retry-after hint
+	// (admission control working as designed).
+	Shed int64 `json:"shed,omitempty"`
+	// Expired counts requests whose deadline budget ran out — dropped
+	// server-side (statusExpired) or timed out locally.
+	Expired int64 `json:"expired,omitempty"`
 	// Behind counts requests that were issued late (the scheduled instant
 	// had already passed — the server, not the generator, was the
 	// bottleneck). At saturation every request is behind.
 	Behind        int64   `json:"behind"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
+	// GoodputPerSec is on-time samples/sec: completions that landed within
+	// the deadline budget, measured from the scheduled start. With no
+	// deadline configured every completion is on time and goodput equals
+	// throughput. Under a 2x overload storm this is THE health metric —
+	// raw throughput can stay flat while every response arrives uselessly
+	// late.
+	GoodputPerSec float64 `json:"goodput_samples_per_sec"`
 
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
@@ -177,10 +203,13 @@ func Run(cfg Config) (Report, error) {
 		Requests:       atomic.LoadInt64(&counters.requests),
 		Samples:        atomic.LoadInt64(&counters.samples),
 		Errors:         atomic.LoadInt64(&counters.errors),
+		Shed:           atomic.LoadInt64(&counters.shed),
+		Expired:        atomic.LoadInt64(&counters.expired),
 		Behind:         atomic.LoadInt64(&counters.behind),
 	}
 	if elapsed > 0 {
 		rep.SamplesPerSec = float64(rep.Samples) / elapsed
+		rep.GoodputPerSec = float64(atomic.LoadInt64(&counters.goodSamples)) / elapsed
 	}
 	snap := hist.Snapshot()
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -194,10 +223,13 @@ func Run(cfg Config) (Report, error) {
 
 // runCounters aggregates the run's atomics.
 type runCounters struct {
-	requests int64
-	samples  int64
-	errors   int64
-	behind   int64
+	requests    int64
+	samples     int64
+	errors      int64
+	shed        int64
+	expired     int64
+	goodSamples int64
+	behind      int64
 }
 
 // measured carries the recording sinks of the measured phase (nil during
@@ -261,20 +293,44 @@ func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration,
 				}
 				mix.fill(ids)
 				got = 0
-				err := conn.GetBatchFunc(ids, sink)
+				var err error
+				if cfg.Deadline > 0 {
+					// The budget runs from the SCHEDULED start: a request that
+					// sat behind a stalled server has already spent part of it.
+					rctx, cancel := context.WithDeadline(context.Background(), sched.Add(cfg.Deadline))
+					err = conn.GetBatchFuncCtx(rctx, ids, sink)
+					cancel()
+				} else {
+					err = conn.GetBatchFunc(ids, sink)
+				}
 				if m == nil {
 					continue
 				}
 				// Open-loop latency: completion minus *scheduled* start, so
 				// time spent waiting behind a stalled server is charged to
 				// every request the stall delayed.
-				m.hist.Record(time.Since(sched))
+				lat := time.Since(sched)
+				m.hist.Record(lat)
 				atomic.AddInt64(&m.c.requests, 1)
 				if err != nil {
-					atomic.AddInt64(&m.c.errors, 1)
+					// Overload rejections are the server protecting itself, not
+					// transport failures; count them apart so the error column
+					// stays a real alarm signal.
+					var ra *overload.RetryAfterError
+					switch {
+					case errors.As(err, &ra):
+						atomic.AddInt64(&m.c.shed, 1)
+					case errors.Is(err, rpc.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+						atomic.AddInt64(&m.c.expired, 1)
+					default:
+						atomic.AddInt64(&m.c.errors, 1)
+					}
 					continue
 				}
 				atomic.AddInt64(&m.c.samples, got)
+				if cfg.Deadline <= 0 || lat <= cfg.Deadline {
+					atomic.AddInt64(&m.c.goodSamples, got)
+				}
 			}
 		}(i, conn)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/icache"
+	"icache/internal/overload"
 	"icache/internal/rpc"
 	"icache/internal/sampling"
 	"icache/internal/storage"
@@ -107,6 +108,108 @@ func TestRunSmoke(t *testing.T) {
 	if rep.SamplesPerSec <= 0 || rep.LatencyP50Ms <= 0 || rep.LatencyMaxMs < rep.LatencyP99Ms {
 		t.Fatalf("implausible report: %+v", rep)
 	}
+}
+
+// TestRunOverloadClassification drives a server whose only admission slot
+// is held for the whole run: every request must come back as a shed
+// (counted separately from transport errors), goodput must be zero, and the
+// ledger must balance exactly — requests == successes + errors + shed +
+// expired.
+func TestRunOverloadClassification(t *testing.T) {
+	spec := dataset.Spec{Name: "lgshed", NumSamples: 256, MeanSampleBytes: 512, Seed: 7}
+	gate := overload.NewGate(overload.GateConfig{MaxInflight: 1})
+	addr := startGatedServer(t, spec, gate)
+	if ok, _ := gate.Admit(time.Now()); !ok {
+		t.Fatal("could not occupy the admission slot")
+	}
+	defer gate.Done()
+
+	rep, err := Run(Config{
+		Addr:     addr,
+		Conns:    2,
+		Batch:    4,
+		Rate:     20000,
+		Duration: 250 * time.Millisecond,
+		Mix:      "uniform",
+		Keys:     spec.NumSamples,
+		Seed:     1,
+		Deadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatalf("no traffic recorded: %+v", rep)
+	}
+	if rep.Shed != rep.Requests {
+		t.Fatalf("shed %d of %d requests; sheds must not leak into other buckets (%+v)",
+			rep.Shed, rep.Requests, rep)
+	}
+	if rep.Errors != 0 || rep.Expired != 0 {
+		t.Fatalf("sheds misclassified: errors=%d expired=%d", rep.Errors, rep.Expired)
+	}
+	if rep.Samples != 0 || rep.GoodputPerSec != 0 {
+		t.Fatalf("a fully-shed run has no goodput: %+v", rep)
+	}
+}
+
+// TestRunGoodputTracksDeadline: with no overload and a generous per-request
+// deadline, every completion is on time — goodput equals raw throughput and
+// the shed/expired buckets stay empty.
+func TestRunGoodputTracksDeadline(t *testing.T) {
+	spec := dataset.Spec{Name: "lggood", NumSamples: 256, MeanSampleBytes: 512, Seed: 7}
+	addr := startServer(t, 0, spec)
+	rep, err := Run(Config{
+		Addr:     addr,
+		Conns:    2,
+		Batch:    4,
+		Rate:     20000,
+		Duration: 250 * time.Millisecond,
+		Mix:      "uniform",
+		Keys:     spec.NumSamples,
+		Seed:     1,
+		Deadline: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 || rep.Shed != 0 || rep.Expired != 0 {
+		t.Fatalf("clean run expected: %+v", rep)
+	}
+	if rep.GoodputPerSec != rep.SamplesPerSec {
+		t.Fatalf("goodput %.1f != throughput %.1f with every completion on time",
+			rep.GoodputPerSec, rep.SamplesPerSec)
+	}
+}
+
+// startGatedServer is startServer with an admission gate installed on the
+// serving stack before it starts accepting.
+func startGatedServer(t testing.TB, spec dataset.Spec, gate *overload.Gate) string {
+	t.Helper()
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := icache.DefaultConfig(spec.TotalBytes() / 4)
+	cfg.EnableLCache = false
+	cacheSrv, err := icache.NewServer(back, cfg, sampling.DefaultIIS(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := storage.NewDataSource(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(cacheSrv, src)
+	srv.Logf = nil
+	srv.SetAdmission(gate)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
 }
 
 // TestMixDeterminism: uniform and zipf mixes replay identically for the

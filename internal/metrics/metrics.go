@@ -239,6 +239,51 @@ func (s ServingStats) String() string {
 		s.PeerBatchRPCs, s.PeerBatchSamples, s.PeerBatchFill(), s.MuxInflight)
 }
 
+// OverloadStats counts overload-control events on the network server: the
+// admission gate's decisions, server-side deadline drops, and the per-peer
+// circuit breakers' lifecycle (aggregated across peers). Unlike the other
+// observability families, Shed and Expired join the serving layer's
+// request-conservation arithmetic: every offered request is either served
+// (and lands in CacheStats), shed, or expired — exactly once.
+type OverloadStats struct {
+	GateState string // gauge: "normal" | "brownout" | "shed" ("" = gate disabled)
+	Inflight  int64  // gauge: requests currently holding an admission slot
+	Admitted  int64  // requests the gate let through
+	Shed      int64  // requests rejected with a retry-after hint
+	Expired   int64  // requests dropped server-side with their deadline budget spent
+	Brownouts int64  // entries into the Brownout state (transitions, not requests)
+	Sheds     int64  // entries into the Shed state (transitions, not requests)
+
+	BreakersOpen      int64 // gauge: peer breakers currently open or half-open
+	BreakerTrips      int64 // closed-to-open transitions across all peers
+	BreakerFastFails  int64 // calls rejected by an open breaker without touching the network
+	BreakerProbes     int64 // half-open probe calls issued
+	BreakerRecoveries int64 // breakers re-closed by a successful probe
+}
+
+// Add accumulates o's counters into s; gauges take o's values ("latest
+// observation wins", matching ServingStats.Add).
+func (s *OverloadStats) Add(o OverloadStats) {
+	s.GateState = o.GateState
+	s.Inflight = o.Inflight
+	s.Admitted += o.Admitted
+	s.Shed += o.Shed
+	s.Expired += o.Expired
+	s.Brownouts += o.Brownouts
+	s.Sheds += o.Sheds
+	s.BreakersOpen = o.BreakersOpen
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerFastFails += o.BreakerFastFails
+	s.BreakerProbes += o.BreakerProbes
+	s.BreakerRecoveries += o.BreakerRecoveries
+}
+
+func (s OverloadStats) String() string {
+	return fmt.Sprintf("gate=%s inflight=%d admitted=%d shed=%d expired=%d brownouts=%d sheds=%d breakers{open=%d trips=%d fastFails=%d probes=%d recoveries=%d}",
+		s.GateState, s.Inflight, s.Admitted, s.Shed, s.Expired, s.Brownouts, s.Sheds,
+		s.BreakersOpen, s.BreakerTrips, s.BreakerFastFails, s.BreakerProbes, s.BreakerRecoveries)
+}
+
 // EpochStats describes one simulated training epoch of one job.
 type EpochStats struct {
 	Epoch int

@@ -181,7 +181,7 @@ func BenchmarkServeHitPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := srv.serveVecRequest(cs, 0, false, req); err != nil {
+		if err := srv.serveVecRequest(cs, 0, false, req, time.Time{}); err != nil {
 			b.Fatal(err)
 		}
 	}

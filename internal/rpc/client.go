@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,11 +12,35 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/retry"
 	"icache/internal/sampling"
 	"icache/internal/trace"
 	"icache/internal/wire"
 )
+
+// ErrDeadlineExceeded classifies every deadline-driven failure of a round
+// trip — a local per-call timeout as well as the server answering
+// statusExpired. Callers (the load harness's goodput accounting) match it
+// with errors.Is; the two flavors below stay distinguishable internally
+// because only the local timeout counts against the circuit breaker.
+var ErrDeadlineExceeded = errors.New("rpc: deadline exceeded")
+
+// errCallTimeout: the client gave up waiting locally (per-RPC timer or
+// SetDeadline fired). The peer may be hung — a breaker failure.
+var errCallTimeout = fmt.Errorf("call timed out: %w", ErrDeadlineExceeded)
+
+// errExpiredByServer: the server answered promptly that the budget had run
+// out before it would start the work. The peer is healthy — not a breaker
+// failure.
+var errExpiredByServer = fmt.Errorf("server dropped expired request: %w", ErrDeadlineExceeded)
+
+// ServerError is an application error the server reported in a statusErr
+// frame. The transport worked; these are never retried and never trip the
+// circuit breaker.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "rpc: server error: " + e.Msg }
 
 // Client is the framework-side iCache client module (the role the paper's
 // iCacheImageFolder plays inside PyTorch): it forwards data-loader requests
@@ -43,6 +68,17 @@ type Client struct {
 	policy  retry.Policy
 	rng     *rand.Rand // jitter PRNG; thread-safe via lockedSource
 	sleep   func(time.Duration) // nil = time.Sleep; tests may stub
+
+	// rpcTimeout bounds every round trip (0 = unbounded): a per-call
+	// SetDeadline on serial exchanges, a per-call timer on mux calls. A
+	// context deadline passed through the *Ctx APIs tightens (never loosens)
+	// this bound.
+	rpcTimeout time.Duration
+
+	// breaker is the per-peer circuit breaker (nil = disabled). Shared with
+	// the owner (the distState keeps one per NodeID across reconnects):
+	// Allow gates every round trip, Report feeds transport outcomes back.
+	breaker *overload.Breaker
 
 	// mu guards the serial transport's connection and the closed flag.
 	// Unlike the pre-mux client it is held across ONE exchange, not across
@@ -95,6 +131,15 @@ type DialConfig struct {
 	// to the legacy one-frame-at-a-time transport (mixed-version interop
 	// tests use this to stand in for an old client binary).
 	DisableMux bool
+	// RPCTimeout bounds each round trip (0 = unbounded). On the serial
+	// transport it becomes a conn.SetDeadline per exchange; on the mux
+	// transport a per-call timer, so one slow response cannot poison the
+	// shared pipelined connection.
+	RPCTimeout time.Duration
+	// Breaker, when non-nil, is the circuit breaker consulted before and
+	// reported to after every round trip. Owned by the caller so it survives
+	// client reconnects (the peer table keeps one per node).
+	Breaker *overload.Breaker
 }
 
 // Dial connects to an iCache server with the default retry policy.
@@ -126,6 +171,8 @@ func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
 		rng:         rand.New(newLockedSource(int64(len(addr))*0x9E37 + 1)),
 		muxDisabled: cfg.DisableMux,
 		muxInflight: inflight,
+		rpcTimeout:  cfg.RPCTimeout,
+		breaker:     cfg.Breaker,
 		obsStart:    time.Now(),
 	}
 	err := retry.Do(policy, c.rng, c.sleep, func(int) error {
@@ -207,6 +254,41 @@ func (c *Client) roundTrip(req []byte) (*reader, error) {
 // A caller that can prove it retains nothing from the reader recycles the
 // buffer with wire.PutBuffer; status errors recycle it internally.
 func (c *Client) roundTripOwned(req []byte) (*reader, *wire.Buffer, error) {
+	return c.roundTripDeadline(req, c.callDeadline())
+}
+
+// callDeadline is the default per-call bound from the client's configured
+// RPCTimeout (zero time = unbounded).
+func (c *Client) callDeadline() time.Time {
+	if c.rpcTimeout > 0 {
+		return time.Now().Add(c.rpcTimeout)
+	}
+	return time.Time{}
+}
+
+// tightenDeadline combines a caller-supplied deadline with the client's
+// configured RPCTimeout, returning whichever bound is earlier (zero time =
+// unbounded on that side).
+func (c *Client) tightenDeadline(dl time.Time) time.Time {
+	cd := c.callDeadline()
+	if dl.IsZero() {
+		return cd
+	}
+	if cd.IsZero() || dl.Before(cd) {
+		return dl
+	}
+	return cd
+}
+
+// roundTripDeadline is the round-trip core. A non-zero deadline bounds the
+// whole call — every attempt's network wait AND the retry backoff between
+// attempts — so a caller's budget is honored even when the transport hangs
+// rather than fails. When a circuit breaker is configured it gates entry
+// (open breaker = fail fast, no network) and absorbs the outcome.
+func (c *Client) roundTripDeadline(req []byte, deadline time.Time) (*reader, *wire.Buffer, error) {
+	if b := c.breaker; b != nil && !b.Allow(time.Now()) {
+		return nil, nil, fmt.Errorf("rpc: %s: %w", c.addr, overload.ErrBreakerOpen)
+	}
 	var t0 time.Time
 	if c.rtHist != nil {
 		t0 = time.Now()
@@ -218,8 +300,15 @@ func (c *Client) roundTripOwned(req []byte) (*reader, *wire.Buffer, error) {
 	err := retry.Do(c.policy, c.rng, c.sleep, func(attempt int) error {
 		if attempt > 0 {
 			retried = true
+			// Budget check before a retry: a doomed attempt would only turn
+			// "late" into "later". The first attempt always runs — an already
+			// expired budget still reaches the server, which answers
+			// statusExpired and keeps the accounting honest.
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return retry.Permanent(fmt.Errorf("rpc: %s: retry budget spent: %w", c.addr, errCallTimeout))
+			}
 		}
-		r, o, err := c.attempt(req, attempt > 0)
+		r, o, err := c.attempt(req, attempt > 0, deadline)
 		if err != nil {
 			return err
 		}
@@ -230,20 +319,50 @@ func (c *Client) roundTripOwned(req []byte) (*reader, *wire.Buffer, error) {
 		atomic.AddInt64(&c.retries, 1)
 	}
 	if err != nil {
+		c.reportBreaker(err)
 		return nil, nil, err
 	}
 	d := newReader(resp)
+	var callErr error
 	switch status := d.u8(); status {
 	case statusOK:
+		c.reportBreaker(nil)
 		return d, owner, nil
 	case statusErr:
-		err := fmt.Errorf("rpc: server error: %s", d.str())
-		wire.PutBuffer(owner)
-		return nil, nil, err
+		callErr = &ServerError{Msg: d.str()}
+	case statusRetryAfter:
+		callErr = &overload.RetryAfterError{After: time.Duration(d.i64())}
+	case statusExpired:
+		callErr = errExpiredByServer
 	default:
-		wire.PutBuffer(owner)
-		return nil, nil, fmt.Errorf("rpc: unknown status %d", status)
+		callErr = fmt.Errorf("rpc: unknown status %d", status)
 	}
+	wire.PutBuffer(owner)
+	c.reportBreaker(callErr)
+	return nil, nil, callErr
+}
+
+// reportBreaker feeds one round-trip outcome to the breaker (if any).
+func (c *Client) reportBreaker(err error) {
+	if b := c.breaker; b != nil {
+		b.Report(time.Now(), breakerOutcomeOK(err))
+	}
+}
+
+// breakerOutcomeOK maps a round-trip result to peer health. Application
+// errors (statusErr) and server-side expiry mean the peer answered — those
+// are successes for the circuit. Transport failures, local timeouts, and
+// shed rejections (a browned-out peer asking callers to go away) are the
+// failures that should open it.
+func breakerOutcomeOK(err error) bool {
+	if err == nil {
+		return true
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return true
+	}
+	return errors.Is(err, errExpiredByServer)
 }
 
 // attempt performs one exchange on whichever transport is currently
@@ -259,10 +378,10 @@ func (c *Client) roundTripOwned(req []byte) (*reader, *wire.Buffer, error) {
 // per-connection I/O patterns (the chaos suite's DropEvery rules) would
 // otherwise hit a freshly handshaken session at the same relative offset on
 // every retry.
-func (c *Client) attempt(req []byte, isRetry bool) ([]byte, *wire.Buffer, error) {
+func (c *Client) attempt(req []byte, isRetry bool, deadline time.Time) ([]byte, *wire.Buffer, error) {
 	if c.Muxed() {
 		if isRetry {
-			resp, err := c.oneShotSerial(req)
+			resp, err := c.oneShotSerial(req, deadline)
 			return resp, nil, err
 		}
 		sess, fresh, err := c.muxSessionFor()
@@ -270,8 +389,13 @@ func (c *Client) attempt(req []byte, isRetry bool) ([]byte, *wire.Buffer, error)
 			return nil, nil, err
 		}
 		if sess != nil {
-			resp, owner, err := sess.doOwned(req)
+			resp, owner, err := sess.doOwned(req, deadline)
 			if err != nil {
+				if errors.Is(err, errCallTimeout) {
+					// The SESSION is fine — only this call ran out of time.
+					// Tearing the mux down would fail its pipelined peers.
+					return nil, nil, retry.Permanent(err)
+				}
 				c.muxFailed(sess)
 				return nil, nil, err
 			}
@@ -282,7 +406,7 @@ func (c *Client) attempt(req []byte, isRetry bool) ([]byte, *wire.Buffer, error)
 		_ = fresh
 		isRetry = false
 	}
-	resp, err := c.serialAttempt(req, isRetry)
+	resp, err := c.serialAttempt(req, isRetry, deadline)
 	return resp, nil, err
 }
 
@@ -290,7 +414,7 @@ func (c *Client) attempt(req []byte, isRetry bool) ([]byte, *wire.Buffer, error)
 // connection, never touching the serial conn or the mux session (a racing
 // goroutine may have installed a healthy new generation we must not
 // disturb). Used only for retry attempts of a muxed client.
-func (c *Client) oneShotSerial(req []byte) ([]byte, error) {
+func (c *Client) oneShotSerial(req []byte, deadline time.Time) ([]byte, error) {
 	if c.isClosed() {
 		return nil, retry.Permanent(fmt.Errorf("rpc: client for %s is closed", c.addr))
 	}
@@ -299,12 +423,18 @@ func (c *Client) oneShotSerial(req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
+	if !deadline.IsZero() {
+		conn.SetDeadline(deadline)
+	}
 	atomic.AddInt64(&c.redials, 1)
 	if err := writeFrame(conn, req); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w", err)
 	}
 	resp, err := readFrame(conn)
 	if err != nil {
+		if isTimeout(err) {
+			return nil, retry.Permanent(fmt.Errorf("rpc: receive: %w", errCallTimeout))
+		}
 		return nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	return resp, nil
@@ -379,7 +509,7 @@ func (c *Client) isClosed() bool {
 // frame, read one frame. Holding mu across the exchange keeps concurrent
 // users of a legacy client request/response-aligned — they serialize, which
 // is exactly the head-of-line blocking the mux transport removes.
-func (c *Client) serialAttempt(req []byte, redial bool) ([]byte, error) {
+func (c *Client) serialAttempt(req []byte, redial bool, deadline time.Time) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -390,14 +520,34 @@ func (c *Client) serialAttempt(req []byte, redial bool) ([]byte, error) {
 			return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, err)
 		}
 	}
+	if !deadline.IsZero() {
+		// Per-exchange bound; cleared after so an unbounded caller is not
+		// poisoned by a stale deadline on the shared serial connection.
+		c.conn.SetDeadline(deadline)
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w", err)
 	}
 	resp, err := readFrame(c.conn)
 	if err != nil {
+		if isTimeout(err) {
+			// The connection is desynchronized, not dead: the request went
+			// out and its response will eventually arrive unread. Drop it so
+			// the next exchange dials fresh instead of decoding a stale frame.
+			c.conn.Close()
+			c.conn = nil
+			return nil, retry.Permanent(fmt.Errorf("rpc: receive: %w", errCallTimeout))
+		}
 		return nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	return resp, nil
+}
+
+// isTimeout reports whether a transport error is a SetDeadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // redialLocked replaces the serial connection (mu held).
@@ -422,17 +572,33 @@ func (c *Client) redialLocked() error {
 // the request travels inside a trace envelope and the client records the
 // hop-0 KindRPCSend span covering the full round trip.
 func (c *Client) GetBatch(ids []dataset.SampleID) ([]Sample, error) {
+	return c.GetBatchCtx(context.Background(), ids)
+}
+
+// GetBatchCtx is GetBatch with deadline propagation: the context's
+// remaining time is encoded into the request's opDeadline envelope, so the
+// server (and every peer/directory hop it fans out to) inherits the budget
+// and drops work that can no longer finish in time. The same deadline
+// bounds the local wait (a hung transport cannot outlive the context).
+func (c *Client) GetBatchCtx(ctx context.Context, ids []dataset.SampleID) ([]Sample, error) {
+	deadline, budget, err := c.ctxBounds(ctx)
+	if err != nil {
+		return nil, err
+	}
 	req := encodeGetBatchRequest(ids)
-	ctx := c.beginTrace()
+	tctx := c.beginTrace()
 	var t0 time.Time
-	if ctx.Valid() {
-		req = WrapTraced(req, ctx.Next())
+	if tctx.Valid() {
+		req = WrapTraced(req, tctx.Next())
 		t0 = time.Now()
 	}
-	d, err := c.roundTrip(req)
-	if ctx.Valid() {
+	if budget > 0 {
+		req = encodeDeadlineRequest(budget, req)
+	}
+	d, _, err := c.roundTripDeadline(req, deadline)
+	if tctx.Valid() {
 		c.tracer.RecordSpan(time.Since(c.obsStart), trace.KindRPCSend, 0,
-			spanArgPeer, ctx.ID, ctx.Hop, time.Since(t0))
+			spanArgPeer, tctx.ID, tctx.Hop, time.Since(t0))
 	}
 	if err != nil {
 		return nil, err
@@ -445,6 +611,30 @@ func (c *Client) GetBatch(ids []dataset.SampleID) ([]Sample, error) {
 		return nil, fmt.Errorf("rpc: got %d samples for %d requests", len(samples), len(ids))
 	}
 	return samples, nil
+}
+
+// ctxBounds merges a context deadline with the configured per-call
+// RPCTimeout: the local bound is the earlier of the two, and the wire
+// budget (0 = none) is the context's remaining time. An already-done
+// context fails fast without a network round trip.
+func (c *Client) ctxBounds(ctx context.Context) (deadline time.Time, budget time.Duration, err error) {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			return time.Time{}, 0, fmt.Errorf("rpc: %w", errCallTimeout)
+		}
+		return time.Time{}, 0, ctxErr
+	}
+	deadline = c.callDeadline()
+	if cd, ok := ctx.Deadline(); ok {
+		budget = time.Until(cd)
+		if budget <= 0 {
+			budget = 1 // raced to expiry: still send, server answers statusExpired
+		}
+		if deadline.IsZero() || cd.Before(deadline) {
+			deadline = cd
+		}
+	}
+	return deadline, budget, nil
 }
 
 // sampleSlicePool recycles the decoded-sample scratch slices GetBatchFunc
@@ -467,24 +657,39 @@ var sampleSlicePool = sync.Pool{New: func() interface{} {
 // only counts bytes) fit this contract exactly; use GetBatch when sample
 // lifetimes are unbounded.
 func (c *Client) GetBatchFunc(ids []dataset.SampleID, fn func([]Sample) error) error {
+	return c.GetBatchFuncCtx(context.Background(), ids, fn)
+}
+
+// GetBatchFuncCtx is GetBatchFunc with deadline propagation (see
+// GetBatchCtx). The opDeadline envelope is prefixed in the same pooled
+// request buffer, so the borrowed-read hot path stays allocation-free.
+func (c *Client) GetBatchFuncCtx(ctx context.Context, ids []dataset.SampleID, fn func([]Sample) error) error {
+	deadline, budget, err := c.ctxBounds(ctx)
+	if err != nil {
+		return err
+	}
 	e := wire.GetBuffer()
+	if budget > 0 {
+		e.U8(opDeadline)
+		e.I64(int64(budget))
+	}
 	e.U8(opGetBatch)
 	e.U32(uint32(len(ids)))
 	for _, id := range ids {
 		e.I64(int64(id))
 	}
 	req := e.B
-	ctx := c.beginTrace()
+	tctx := c.beginTrace()
 	var t0 time.Time
-	if ctx.Valid() {
-		req = WrapTraced(req, ctx.Next())
+	if tctx.Valid() {
+		req = WrapTraced(req, tctx.Next())
 		t0 = time.Now()
 	}
-	d, owner, err := c.roundTripOwned(req)
+	d, owner, err := c.roundTripDeadline(req, deadline)
 	wire.PutBuffer(e) // every attempt copies req before writing; safe to recycle now
-	if ctx.Valid() {
+	if tctx.Valid() {
 		c.tracer.RecordSpan(time.Since(c.obsStart), trace.KindRPCSend, 0,
-			spanArgPeer, ctx.ID, ctx.Hop, time.Since(t0))
+			spanArgPeer, tctx.ID, tctx.Hop, time.Since(t0))
 	}
 	if err != nil {
 		return err

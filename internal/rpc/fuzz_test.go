@@ -2,9 +2,11 @@ package rpc
 
 import (
 	"testing"
+	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/icache"
+	"icache/internal/obs"
 	"icache/internal/sampling"
 	"icache/internal/storage"
 )
@@ -63,13 +65,27 @@ func FuzzServerDispatch(f *testing.F) {
 	f.Add([]byte{13, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 16})
 	f.Add([]byte{12})
 	f.Add([]byte{13, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Deadline envelopes (op 10): a generous budget around a ping, a spent
+	// budget (must answer statusExpired, not fetch), a nested envelope (must
+	// error), a truncated header, and both compositions with the trace
+	// envelope — trace-outer/deadline-inner and deadline-outer/trace-inner.
+	f.Add(encodeDeadlineRequest(time.Minute, []byte{opPing}))
+	f.Add([]byte{opDeadline, 0, 0, 0, 0, 0, 0, 0, 0, opPing})
+	f.Add(encodeDeadlineRequest(time.Minute, encodeDeadlineRequest(time.Minute, []byte{opPing})))
+	f.Add([]byte{opDeadline, 0, 0, 0, 1})
+	f.Add(WrapTraced(encodeDeadlineRequest(time.Minute, encodeGetBatchRequest([]dataset.SampleID{0, 1})), obs.TraceCtx{ID: 9, Hop: 1}))
+	f.Add(encodeDeadlineRequest(time.Minute, WrapTraced(encodeGetBatchRequest([]dataset.SampleID{0, 1}), obs.TraceCtx{ID: 9, Hop: 1})))
 
 	f.Fuzz(func(t *testing.T, req []byte) {
 		resp := srv.dispatch(req)
 		if len(resp) == 0 {
 			t.Fatal("empty response")
 		}
-		if resp[0] != statusOK && resp[0] != statusErr {
+		switch resp[0] {
+		case statusOK, statusErr, statusExpired:
+		case statusRetryAfter:
+			t.Fatalf("retry-after with no admission gate installed")
+		default:
 			t.Fatalf("response status %d", resp[0])
 		}
 	})

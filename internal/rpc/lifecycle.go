@@ -78,12 +78,16 @@ func (s *Server) StartMembership(cfg MembershipConfig) error {
 	}
 	dist.memCfg = cfg.withDefaults()
 	dist.memStop = make(chan struct{})
+	// Hand the loop its own copies: re-reading dist.memStop from inside the
+	// goroutine would race with StopMembership nilling it, leaving a
+	// late-scheduled loop selecting on a nil channel forever.
+	loopCfg, stop := dist.memCfg, dist.memStop
 	dist.memMu.Unlock()
 
 	s.registerAndReconcile()
 
 	dist.memWG.Add(1)
-	go s.membershipLoop()
+	go s.membershipLoop(loopCfg, stop)
 	return nil
 }
 
@@ -124,13 +128,9 @@ func (s *Server) LastHeartbeat() time.Time {
 	return metrics.SnapshotUnder(&dist.memMu, &dist.lastBeat)
 }
 
-func (s *Server) membershipLoop() {
+func (s *Server) membershipLoop(cfg MembershipConfig, stop chan struct{}) {
 	dist := s.dist
 	defer dist.memWG.Done()
-	dist.memMu.Lock()
-	cfg := dist.memCfg
-	stop := dist.memStop
-	dist.memMu.Unlock()
 	beat := time.NewTicker(cfg.HeartbeatInterval)
 	defer beat.Stop()
 	scrub := time.NewTicker(cfg.ScrubInterval)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"icache/internal/metrics"
+	"icache/internal/overload"
 	"icache/internal/wire"
 )
 
@@ -90,6 +91,36 @@ func (s *Server) ServingStats() metrics.ServingStats {
 	out.PayloadPins = sl.pins
 	out.PeerBatchRPCs, out.PeerBatchSamples = s.PeerBatchStats()
 	out.MuxInflight = s.MuxInflight()
+	return out
+}
+
+// OverloadStats gathers the overload-control counters: admission gate
+// decisions, server-side deadline drops, and per-peer breaker lifecycle
+// aggregated across peers. (Deliberately NOT part of MetricsSnapshot — the
+// JSON document is byte-pinned for existing dashboards; these surface via
+// Prometheus and this accessor.)
+func (s *Server) OverloadStats() metrics.OverloadStats {
+	out := metrics.OverloadStats{
+		Shed:    atomic.LoadInt64(&s.shedCount),
+		Expired: atomic.LoadInt64(&s.expiredCount),
+	}
+	if g := s.gate; g != nil {
+		gs := g.Stats()
+		out.GateState = gs.State.String()
+		out.Inflight = gs.Inflight
+		out.Admitted = gs.Admitted
+		out.Brownouts = gs.Brownouts
+		out.Sheds = gs.Sheds
+	}
+	for _, bs := range s.PeerBreakerStats() {
+		if bs.State != overload.BreakerClosed {
+			out.BreakersOpen++
+		}
+		out.BreakerTrips += bs.Trips
+		out.BreakerFastFails += bs.FastFails
+		out.BreakerProbes += bs.Probes
+		out.BreakerRecoveries += bs.Recoveries
+	}
 	return out
 }
 

@@ -111,7 +111,7 @@ func newMuxSession(conn net.Conn, inflightCap int) *muxSession {
 // response is handed out by reference, so its pooled backing buffer is
 // dropped rather than recycled.
 func (m *muxSession) do(req []byte) ([]byte, error) {
-	resp, _, err := m.doOwned(req)
+	resp, _, err := m.doOwned(req, time.Time{})
 	return resp, err
 }
 
@@ -119,7 +119,13 @@ func (m *muxSession) do(req []byte) ([]byte, error) {
 // response (nil when the read path had to allocate outside the pool). The
 // caller recycles it with wire.PutBuffer once — and only once — it is done
 // with every byte of resp.
-func (m *muxSession) doOwned(req []byte) ([]byte, *wire.Buffer, error) {
+//
+// A non-zero deadline bounds the wait for this ONE call without poisoning
+// the shared connection: on expiry the request ID is forgotten (a racing
+// late delivery is dropped with the abandoned channel) and the session
+// stays healthy for its other callers — unlike a conn.SetDeadline, which
+// would fail every pipelined request on the connection.
+func (m *muxSession) doOwned(req []byte, deadline time.Time) ([]byte, *wire.Buffer, error) {
 	if m.inflight != nil {
 		m.inflight <- struct{}{}
 		defer func() { <-m.inflight }()
@@ -148,6 +154,20 @@ func (m *muxSession) doOwned(req []byte) ([]byte, *wire.Buffer, error) {
 	if err != nil {
 		m.forget(id)
 		return nil, nil, fmt.Errorf("rpc: mux send: %w", err)
+	}
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case res := <-ch:
+			timer.Stop()
+			muxChanPool.Put(ch)
+			return res.resp, res.owner, res.err
+		case <-timer.C:
+			// The reader may still deliver into the (buffered) channel; the
+			// abandoned channel is dropped, never pooled (see muxChanPool).
+			m.forget(id)
+			return nil, nil, fmt.Errorf("rpc: mux call: %w", errCallTimeout)
+		}
 	}
 	res := <-ch
 	// Delivery is exactly-once (the pending entry was removed before the

@@ -44,6 +44,10 @@ import (
 // opTraced wraps any request in a trace-context envelope (see above).
 const opTraced = 7
 
+// tracedHeaderLen is the trace envelope's header size:
+// u8(opTraced) + i64(trace ID) + u8(hop).
+const tracedHeaderLen = 10
+
 // Stage names registered by the serving path. Every stage becomes an
 // icache_stage_<name>_seconds histogram on the Prometheus surface.
 const (
@@ -77,6 +81,12 @@ const (
 	// StageSubstitutionScan is the cache policy's substitute-selection scan,
 	// recorded by icache.Server (see SetSubstitutionScanHist).
 	StageSubstitutionScan = "substitution_scan"
+	// StageAdmissionWait is time an admitted request waited for a dispatch
+	// slot — the queue-delay signal the admission gate steers on.
+	StageAdmissionWait = "admission_wait"
+	// StageDeadlineRemaining is the budget left when a deadline-carrying
+	// request reached the serve point (0 = arrived already expired).
+	StageDeadlineRemaining = "deadline_remaining"
 )
 
 // Span Arg values for KindRPCSend.
@@ -95,6 +105,7 @@ type serverObs struct {
 	request, policyLock, localHit, sfWait   *obs.Histogram
 	backend, peerRPC, dirLookup, prefetchWt *obs.Histogram
 	peerBatch, dirBatch                     *obs.Histogram
+	admissionWait, deadlineRem              *obs.Histogram
 
 	tracer *trace.Recorder
 
@@ -125,6 +136,8 @@ func (s *Server) EnableObs(reg *obs.Registry, tracer *trace.Recorder) {
 	s.obs.dirLookup = reg.Hist(StageDirLookup)
 	s.obs.dirBatch = reg.Hist(StageDirLookupBatch)
 	s.obs.prefetchWt = reg.Hist(StagePrefetchQueueWait)
+	s.obs.admissionWait = reg.Hist(StageAdmissionWait)
+	s.obs.deadlineRem = reg.Hist(StageDeadlineRemaining)
 	s.cache.SetSubstitutionScanHist(reg.Hist(StageSubstitutionScan))
 }
 

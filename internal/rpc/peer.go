@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"icache/internal/dkv"
 	"icache/internal/metrics"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/retry"
 	"icache/internal/singleflight"
 	"icache/internal/trace"
@@ -67,13 +69,30 @@ type PeerConfig struct {
 	// a small pool recovers some concurrency that mux framing would have
 	// provided (<= 0 selects 2; mux-capable peers always use 1 connection).
 	LegacyPoolConns int
+	// RPCTimeout bounds every peer round trip (<= 0 selects 1s): one hung
+	// replica can stall a scatter-gather chunk for at most this long before
+	// the chunk degrades to the backend.
+	RPCTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a peer's
+	// circuit breaker (0 selects the overload-package default; < 0 disables
+	// breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state cooldown before a half-open probe
+	// (<= 0 selects the overload-package default).
+	BreakerCooldown time.Duration
 }
 
 // defaultPeerConfig is what EnableDistributed installs until SetPeerConfig
 // overrides it.
 func defaultPeerConfig() PeerConfig {
-	return PeerConfig{Batch: 256, Inflight: defaultMuxInflight, LegacyPoolConns: 2}
+	return PeerConfig{Batch: 256, Inflight: defaultMuxInflight, LegacyPoolConns: 2,
+		RPCTimeout: defaultPeerRPCTimeout}
 }
+
+// defaultPeerRPCTimeout is the per-call bound on peer RPCs: long enough for
+// a loaded peer to answer a full batch, short enough that a black-holed
+// replica costs one bounded stall, not a TCP timeout.
+const defaultPeerRPCTimeout = time.Second
 
 func (c PeerConfig) withDefaults() PeerConfig {
 	if c.Batch < 0 {
@@ -84,6 +103,9 @@ func (c PeerConfig) withDefaults() PeerConfig {
 	}
 	if c.LegacyPoolConns <= 0 {
 		c.LegacyPoolConns = 2
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = defaultPeerRPCTimeout
 	}
 	return c
 }
@@ -115,6 +137,11 @@ type distState struct {
 
 	mu    sync.Mutex
 	peers map[dkv.NodeID]*peerSlot
+	// breakers holds one circuit breaker per peer NODE (not per client):
+	// the breaker must survive dropPeer/redial churn, or a flapping peer
+	// would reset its own failure count by breaking connections. Guarded by
+	// mu for map access; the Breaker itself is internally synchronized.
+	breakers map[dkv.NodeID]*overload.Breaker
 
 	peerServes   int64 // requests this node answered for peers (atomic)
 	peerHits     int64 // local misses served from a peer's cache (atomic)
@@ -149,7 +176,44 @@ func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir dkv.Service, peerAddrs
 		peerAddrs: peerAddrs,
 		peerCfg:   defaultPeerConfig(),
 		peers:     make(map[dkv.NodeID]*peerSlot),
+		breakers:  make(map[dkv.NodeID]*overload.Breaker),
 	}
+}
+
+// breakerLocked returns (creating on demand) the node's circuit breaker.
+// Caller holds d.mu. Returns nil when breakers are disabled
+// (BreakerThreshold < 0).
+func (d *distState) breakerLocked(node dkv.NodeID) *overload.Breaker {
+	if d.peerCfg.BreakerThreshold < 0 {
+		return nil
+	}
+	b, ok := d.breakers[node]
+	if !ok {
+		b = overload.NewBreaker(overload.BreakerConfig{
+			Threshold: d.peerCfg.BreakerThreshold,
+			Cooldown:  d.peerCfg.BreakerCooldown,
+		})
+		d.breakers[node] = b
+	}
+	return b
+}
+
+// PeerBreakerStats snapshots every peer's circuit breaker state (nil when
+// distribution is disabled).
+func (s *Server) PeerBreakerStats() map[dkv.NodeID]overload.BreakerStats {
+	if s.dist == nil {
+		return nil
+	}
+	s.dist.mu.Lock()
+	defer s.dist.mu.Unlock()
+	if len(s.dist.breakers) == 0 {
+		return nil
+	}
+	out := make(map[dkv.NodeID]overload.BreakerStats, len(s.dist.breakers))
+	for node, b := range s.dist.breakers {
+		out[node] = b.Stats()
+	}
+	return out
 }
 
 // PeerStats reports (requests served for peers, local misses served by
@@ -201,8 +265,15 @@ func (d *distState) peer(node dkv.NodeID) (*Client, error) {
 			Timeout:     2 * time.Second,
 			Policy:      retry.Peer(),
 			MuxInflight: d.peerCfg.Inflight,
+			RPCTimeout:  d.peerCfg.RPCTimeout,
+			Breaker:     d.breakerLocked(node),
 		})
 		if err != nil {
+			// A failed dial is a peer failure too: report it so a DEAD peer
+			// (not just a hung one) trips its breaker and fails fast.
+			if b := d.breakerLocked(node); b != nil {
+				b.Report(time.Now(), false)
+			}
 			if len(slot.clients) > 0 {
 				// Pool growth failed; fall back to an existing connection.
 				slot.next++
@@ -215,6 +286,14 @@ func (d *distState) peer(node dkv.NodeID) (*Client, error) {
 	}
 	slot.next++
 	return slot.clients[slot.next%len(slot.clients)], nil
+}
+
+// isConnFailure reports whether a peer RPC error indicates a poisoned
+// connection (worth a dropPeer + redial). Overload rejections and deadline
+// expiries arrive over a perfectly healthy exchange — redialing on them
+// would add dial churn to a peer that is busy shedding load.
+func isConnFailure(err error) bool {
+	return !overload.IsOverload(err) && !errors.Is(err, ErrDeadlineExceeded)
 }
 
 // dropPeer discards a cached peer client after a failure so the next
@@ -259,6 +338,15 @@ func (c *Client) PeerGet(id dataset.SampleID) ([]byte, bool, error) {
 // (the caller passes its own context's Next()). A zero context sends the
 // plain, envelope-free request.
 func (c *Client) PeerGetCtx(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, bool, error) {
+	return c.PeerGetDeadline(id, ctx, time.Time{})
+}
+
+// PeerGetDeadline is PeerGetCtx bounded by the originating request's
+// deadline: the remaining budget rides a deadline envelope so the peer can
+// drop the read server-side once it is unservable, and the local wait is
+// cut off at the same instant. A zero deadline falls back to the client's
+// configured RPCTimeout.
+func (c *Client) PeerGetDeadline(id dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]byte, bool, error) {
 	var e buffer
 	e.u8(opPeerGet)
 	e.i64(int64(id))
@@ -266,7 +354,12 @@ func (c *Client) PeerGetCtx(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, bool
 	if ctx.Valid() {
 		req = WrapTraced(req, ctx)
 	}
-	d, err := c.roundTrip(req)
+	if budget, ok := remainingBudget(dl, time.Now()); ok {
+		req = encodeDeadlineRequest(budget, req)
+	}
+	// The pooled response buffer is intentionally dropped, not recycled:
+	// the payload is handed out by reference with an unbounded lifetime.
+	d, _, err := c.roundTripDeadline(req, c.tightenDeadline(dl))
 	if err != nil {
 		return nil, false, err
 	}
@@ -314,19 +407,31 @@ func (s *Server) handlePeerGet(d *reader, e *buffer, ctx obs.TraceCtx) {
 // degrades to serial per-sample PeerGet round trips — mixed-version
 // clusters lose the batching win but keep working.
 func (c *Client) PeerGetBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([][]byte, error) {
+	return c.PeerGetBatchDeadline(ids, ctx, time.Time{})
+}
+
+// PeerGetBatchDeadline is PeerGetBatch bounded by the originating request's
+// deadline (see PeerGetDeadline). A zero deadline falls back to the
+// client's configured RPCTimeout.
+func (c *Client) PeerGetBatchDeadline(ids []dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([][]byte, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
 	if !c.Muxed() {
 		// Negotiated down (the peer predates opPeerGetBatch) or pinned to
 		// the legacy transport by DisableMux: per-sample round trips.
-		return c.peerGetBatchSerial(ids, ctx)
+		return c.peerGetBatchSerial(ids, ctx, dl)
 	}
 	req := encodePeerGetBatchRequest(ids)
 	if ctx.Valid() {
 		req = WrapTraced(req, ctx)
 	}
-	d, err := c.roundTrip(req)
+	if budget, ok := remainingBudget(dl, time.Now()); ok {
+		req = encodeDeadlineRequest(budget, req)
+	}
+	// Payloads are handed out by reference, so the pooled response buffer
+	// is dropped rather than recycled (same contract as roundTrip).
+	d, _, err := c.roundTripDeadline(req, c.tightenDeadline(dl))
 	if err != nil {
 		return nil, err
 	}
@@ -334,10 +439,10 @@ func (c *Client) PeerGetBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([][]byt
 }
 
 // peerGetBatchSerial is the interop fallback: one legacy round trip per id.
-func (c *Client) peerGetBatchSerial(ids []dataset.SampleID, ctx obs.TraceCtx) ([][]byte, error) {
+func (c *Client) peerGetBatchSerial(ids []dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([][]byte, error) {
 	out := make([][]byte, len(ids))
 	for i, id := range ids {
-		p, ok, err := c.PeerGetCtx(id, ctx)
+		p, ok, err := c.PeerGetDeadline(id, ctx, dl)
 		if err != nil {
 			return nil, err
 		}
@@ -389,7 +494,7 @@ func (s *Server) handlePeerGetBatch(d *reader, e *buffer, ctx obs.TraceCtx) {
 // leader key would deadlock every waiter). Called with no server lock
 // held; all peer/directory I/O happens outside locks per the contract at
 // the top of this file.
-func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx) {
+func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx, dl time.Time) {
 	finish := func(id dataset.SampleID, p []byte, err error) {
 		s.flight.Finish(int64(id), calls[id], p, err)
 	}
@@ -412,7 +517,7 @@ func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.Samp
 	// directory failure degrades every id to a backend read (counted), the
 	// same way a failed per-sample Lookup used to.
 	dist := s.dist
-	owners := s.dirLookupBatch(dist, remaining, ctx)
+	owners := s.dirLookupBatch(dist, remaining, ctx, dl)
 
 	local := make([]dataset.SampleID, 0, len(remaining))
 	groups := make(map[dkv.NodeID][]dataset.SampleID)
@@ -442,7 +547,7 @@ func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.Samp
 			wg.Add(1)
 			go func(node dkv.NodeID, chunk []dataset.SampleID) {
 				defer wg.Done()
-				miss := s.peerFetchBatch(node, chunk, calls, ctx)
+				miss := s.peerFetchBatch(node, chunk, calls, ctx, dl)
 				if len(miss) > 0 {
 					fbMu.Lock()
 					fallback = append(fallback, miss...)
@@ -483,8 +588,15 @@ func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.Samp
 // hygiene of the serial path, amortized). It returns the ids the peer did
 // NOT satisfy; any transport failure degrades the whole chunk to the
 // backend, exactly like a failed per-sample PeerGet.
-func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx) []dataset.SampleID {
+func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls map[dataset.SampleID]*singleflight.Call, ctx obs.TraceCtx, dl time.Time) []dataset.SampleID {
 	dist := s.dist
+	// An already-spent budget skips the peer RPC outright — the backend
+	// fallback still runs, because every singleflight key this chunk leads
+	// MUST be finished (waiters would deadlock otherwise); the response is
+	// late either way, so conservation beats a doomed round trip.
+	if !dl.IsZero() && !time.Now().Before(dl) {
+		return ids
+	}
 	peer, err := dist.peer(node)
 	if err != nil {
 		atomic.AddInt64(&dist.peerFailures, 1)
@@ -497,7 +609,7 @@ func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls m
 	if measure {
 		t0 = time.Now()
 	}
-	res, err := peer.PeerGetBatch(ids, ctx.Next())
+	res, err := peer.PeerGetBatchDeadline(ids, ctx.Next(), dl)
 	if measure {
 		dur := time.Since(t0)
 		s.obs.peerBatch.Record(dur)
@@ -505,7 +617,13 @@ func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls m
 	}
 	if err != nil {
 		atomic.AddInt64(&dist.peerFailures, 1)
-		dist.dropPeer(node, peer)
+		// Only a transport-level failure poisons the connection. An overload
+		// rejection (breaker open, retry-after, server-side expiry) or a
+		// deadline timeout came from a healthy protocol exchange — dropping
+		// the client would just churn dials while the peer sheds load.
+		if isConnFailure(err) {
+			dist.dropPeer(node, peer)
+		}
 		return ids
 	}
 	var hits, fallback []dataset.SampleID
@@ -540,7 +658,7 @@ func (s *Server) peerFetchBatch(node dkv.NodeID, ids []dataset.SampleID, calls m
 // operation, timed into the dir_lookup_batch stage. A failure (or a
 // malformed short answer) counts one directory failure and returns nil,
 // which degrades every id in the batch to a backend read.
-func (s *Server) dirLookupBatch(dist *distState, ids []dataset.SampleID, ctx obs.TraceCtx) []dkv.Owner {
+func (s *Server) dirLookupBatch(dist *distState, ids []dataset.SampleID, ctx obs.TraceCtx, dl time.Time) []dkv.Owner {
 	measure := s.obs.histsOn() || s.obs.tracing(ctx)
 	var t0 time.Time
 	if measure {
@@ -552,6 +670,13 @@ func (s *Server) dirLookupBatch(dist *distState, ids []dataset.SampleID, ctx obs
 		LookupBatchTraced([]dataset.SampleID, obs.TraceCtx) ([]dkv.Owner, error)
 	}); ok && ctx.Valid() {
 		owners, err = td.LookupBatchTraced(ids, ctx.Next())
+	} else if dd, ok := dist.dir.(interface {
+		LookupBatchDeadline([]dataset.SampleID, time.Time) ([]dkv.Owner, error)
+	}); ok && !dl.IsZero() {
+		// Deadline-aware directories (dkv.DirClient) inherit the request's
+		// remaining budget; in-process and fault-injecting directories fall
+		// back to the plain lookup, which cannot hang anyway.
+		owners, err = dd.LookupBatchDeadline(ids, dl)
 	} else {
 		owners, err = dist.dir.LookupBatch(ids)
 	}
@@ -584,10 +709,13 @@ func (s *Server) PeerBatchStats() (rpcs, samples int64) {
 // lookup and peer read as KindRPCSend spans at this node's hop; both are
 // also timed into the dir_lookup / peer_rpc stage histograms — including
 // failed attempts, since slow failures are exactly what an operator hunts.
-func (s *Server) resolveRemote(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, bool) {
+func (s *Server) resolveRemote(id dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]byte, bool) {
 	dist := s.dist
 	if dist == nil {
 		return nil, false
+	}
+	if !dl.IsZero() && !time.Now().Before(dl) {
+		return nil, false // budget spent: straight to the backend
 	}
 	measure := s.obs.histsOn() || s.obs.tracing(ctx)
 
@@ -617,7 +745,7 @@ func (s *Server) resolveRemote(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, b
 	if measure {
 		t1 = time.Now()
 	}
-	payload, ok, err := peer.PeerGetCtx(id, ctx.Next())
+	payload, ok, err := peer.PeerGetDeadline(id, ctx.Next(), dl)
 	if measure {
 		dur := time.Since(t1)
 		s.obs.peerRPC.Record(dur)
@@ -625,7 +753,9 @@ func (s *Server) resolveRemote(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, b
 	}
 	if err != nil {
 		atomic.AddInt64(&dist.peerFailures, 1)
-		dist.dropPeer(owner, peer)
+		if isConnFailure(err) {
+			dist.dropPeer(owner, peer)
+		}
 		return nil, false
 	}
 	if !ok {

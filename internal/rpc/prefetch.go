@@ -49,6 +49,11 @@ type prefetcher struct {
 	completed int64 // prefetches that finished (bytes stored or already present)
 	dropped   int64 // IDs discarded because the queue was full
 	failed    int64 // prefetch fetches that errored (sample stays lazy)
+
+	// paused (atomic 0/1) is the brownout switch: while set, enqueue drops
+	// every delivery so background backend reads stop competing with
+	// overloaded foreground serving. Samples stay lazily fetchable.
+	paused int32
 }
 
 // newPrefetcher starts a pool of workers. The queue is sized at 64 slots
@@ -76,6 +81,10 @@ func (p *prefetcher) enqueue(id dataset.SampleID) {
 	case <-p.done:
 		return
 	default:
+	}
+	if atomic.LoadInt32(&p.paused) == 1 {
+		atomic.AddInt64(&p.dropped, 1)
+		return
 	}
 	it := prefetchItem{id: id}
 	if p.s.obs.histsOn() {
@@ -107,7 +116,7 @@ func (p *prefetcher) worker() {
 				atomic.AddInt64(&p.completed, 1)
 				continue
 			}
-			if _, err := p.s.resolvePayload(id, obs.TraceCtx{}); err != nil {
+			if _, err := p.s.resolvePayload(id, obs.TraceCtx{}, time.Time{}); err != nil {
 				// Best effort: a failed prefetch is not a serving error —
 				// the sample will be fetched (with retries as configured)
 				// when a client actually asks for it.
@@ -117,6 +126,15 @@ func (p *prefetcher) worker() {
 			atomic.AddInt64(&p.completed, 1)
 		}
 	}
+}
+
+// setPaused flips the brownout switch (see the paused field).
+func (p *prefetcher) setPaused(on bool) {
+	var v int32
+	if on {
+		v = 1
+	}
+	atomic.StoreInt32(&p.paused, v)
 }
 
 // stop terminates the pool and waits for workers to drain. Queued IDs not

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"icache/internal/obs"
+	"icache/internal/overload"
 )
 
 // This file renders the server's full metrics surface in Prometheus text
@@ -112,6 +113,30 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Gauge("icache_slab_bytes", "bytes held in arena slabs (including the freelist)", float64(sv.SlabBytes))
 	p.Gauge("icache_payload_bytes", "bytes of live payload entries in the store", float64(sv.PayloadBytes))
 	p.Counter("icache_payload_pins_total", "reader pins taken on slab-backed payloads", float64(sv.PayloadPins))
+
+	// Overload-control family (metrics.OverloadStats; zeros with no gate
+	// or breakers configured). The gate state renders as a 0/1/2 gauge:
+	// 0=normal, 1=brownout, 2=shed.
+	ov := s.OverloadStats()
+	var gateState float64
+	switch ov.GateState {
+	case overload.Brownout.String():
+		gateState = 1
+	case overload.Shed.String():
+		gateState = 2
+	}
+	p.Gauge("icache_overload_gate_state", "admission ladder position (0=normal, 1=brownout, 2=shed)", gateState)
+	p.Gauge("icache_overload_inflight", "requests currently holding an admission slot", float64(ov.Inflight))
+	p.Counter("icache_overload_admitted_total", "requests the admission gate let through", float64(ov.Admitted))
+	p.Counter("icache_overload_shed_total", "requests rejected with a retry-after hint", float64(ov.Shed))
+	p.Counter("icache_overload_expired_total", "requests dropped server-side with their deadline budget spent", float64(ov.Expired))
+	p.Counter("icache_overload_brownouts_total", "entries into the brownout state", float64(ov.Brownouts))
+	p.Counter("icache_overload_sheds_total", "entries into the shed state", float64(ov.Sheds))
+	p.Gauge("icache_overload_breakers_open", "peer circuit breakers currently open or half-open", float64(ov.BreakersOpen))
+	p.Counter("icache_overload_breaker_trips_total", "peer breaker closed-to-open transitions", float64(ov.BreakerTrips))
+	p.Counter("icache_overload_breaker_fast_fails_total", "peer calls rejected by an open breaker without touching the network", float64(ov.BreakerFastFails))
+	p.Counter("icache_overload_breaker_probes_total", "half-open probe calls issued to suspect peers", float64(ov.BreakerProbes))
+	p.Counter("icache_overload_breaker_recoveries_total", "peer breakers re-closed by a successful probe", float64(ov.BreakerRecoveries))
 
 	// Per-stage latency histograms (nil registry emits nothing).
 	p.Registry("icache_stage", s.obs.reg)

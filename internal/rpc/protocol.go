@@ -13,6 +13,7 @@ package rpc
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"icache/internal/dataset"
 	"icache/internal/sampling"
@@ -37,6 +38,14 @@ const (
 	// out-of-order responses back to their callers. Only clients that
 	// negotiated capMux over opPing send it; see mux.go.
 	opMuxReq = 9
+	// opDeadline is the deadline-budget envelope: u8 opcode | i64 budget
+	// nanoseconds | inner request bytes. The budget is the REMAINING time
+	// the client is willing to wait, re-encoded (decremented) at every hop,
+	// so clocks never need to agree across machines. It sits inside any mux
+	// envelope and outside any opTraced envelope; nesting another deadline
+	// is rejected. A server that cannot finish in time answers
+	// statusExpired without touching the cache. Responses carry no deadline.
+	opDeadline = 10
 )
 
 // Capability bits negotiated over opPing. A post-PR-5 client appends
@@ -57,6 +66,13 @@ const muxHeaderLen = 5
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusRetryAfter is the admission gate's shed rejection: the body is
+	// i64 backoff-hint nanoseconds. The request was NOT served and NOT
+	// counted against the cache; the client should back off and retry.
+	statusRetryAfter = 2
+	// statusExpired reports that the request's deadline budget ran out
+	// before the server started (or finished) the work; the body is empty.
+	statusExpired = 3
 )
 
 // writeFrame and readFrame delegate to the shared wire framing.
@@ -278,4 +294,74 @@ func encodeErrorResponse(msg string) []byte {
 func encodeErrorResponseInto(e *buffer, msg string) {
 	e.u8(statusErr)
 	e.str(msg)
+}
+
+// deadlineHeaderLen is the opDeadline envelope size: opcode byte + i64
+// budget nanoseconds.
+const deadlineHeaderLen = 9
+
+// encodeDeadlineRequest wraps an encoded inner request in the opDeadline
+// envelope carrying the remaining budget. Budgets <= 0 are clamped to 1ns
+// (an expired budget is still sent so the server answers statusExpired
+// rather than the client silently dropping the call).
+func encodeDeadlineRequest(budget time.Duration, inner []byte) []byte {
+	if budget <= 0 {
+		budget = 1
+	}
+	e := buffer{wire.Buffer{B: make([]byte, 0, deadlineHeaderLen+len(inner))}}
+	e.u8(opDeadline)
+	e.i64(int64(budget))
+	e.bytesRaw(inner)
+	return e.payload()
+}
+
+// bytesRaw appends raw bytes with no length prefix (envelope bodies carry
+// their own framing).
+func (e *buffer) bytesRaw(v []byte) { e.Buffer.B = append(e.Buffer.B, v...) }
+
+// peelDeadline strips one leading opDeadline envelope from payload,
+// returning the inner request and the hop's absolute deadline computed
+// from now. ok=false with a nil error means there was no envelope (the
+// payload is returned untouched); a non-nil error means the envelope was
+// malformed or nested.
+func peelDeadline(payload []byte, now time.Time) (inner []byte, deadline time.Time, ok bool, err error) {
+	if len(payload) == 0 || payload[0] != opDeadline {
+		return payload, time.Time{}, false, nil
+	}
+	if len(payload) < deadlineHeaderLen+1 {
+		return nil, time.Time{}, false, fmt.Errorf("rpc: truncated deadline envelope (%d bytes)", len(payload))
+	}
+	d := newReader(payload)
+	d.u8()
+	budget := d.i64()
+	inner = d.rest()
+	if budget <= 0 {
+		return nil, time.Time{}, false, fmt.Errorf("rpc: non-positive deadline budget %d", budget)
+	}
+	if inner[0] == opDeadline {
+		return nil, time.Time{}, false, fmt.Errorf("rpc: nested deadline envelope rejected")
+	}
+	return inner, now.Add(time.Duration(budget)), true, nil
+}
+
+// encodeRetryAfterResponseInto writes the admission gate's shed rejection.
+func encodeRetryAfterResponseInto(e *buffer, after time.Duration) {
+	e.u8(statusRetryAfter)
+	e.i64(int64(after))
+}
+
+// encodeExpiredResponseInto writes the deadline-exceeded rejection.
+func encodeExpiredResponseInto(e *buffer) {
+	e.u8(statusExpired)
+}
+
+// remainingBudget converts an absolute deadline back into the budget a
+// downstream hop should be given (zero deadline = no bound, 0 budget).
+// Expired deadlines report a negative remainder so callers can drop the
+// work instead of issuing a doomed call.
+func remainingBudget(deadline, now time.Time) (time.Duration, bool) {
+	if deadline.IsZero() {
+		return 0, false
+	}
+	return deadline.Sub(now), true
 }

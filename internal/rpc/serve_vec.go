@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/wire"
 )
 
@@ -95,24 +97,31 @@ func (s *Server) vecOp(op byte) bool {
 // write. muxID/muxed carry the envelope to echo. The returned error is a
 // connection write error (the caller tears the connection down); protocol
 // and resolution errors are answered in-band.
-func (s *Server) serveVecRequest(cs *muxConnState, muxID uint32, muxed bool, req []byte) error {
+func (s *Server) serveVecRequest(cs *muxConnState, muxID uint32, muxed bool, req []byte, dl time.Time) error {
 	op := req[0]
 	sc := getServeScratch()
 	d := newReader(req)
 	d.u8()
 	ids, derr := decodeGetBatchRequestInto(d, sc.ids[:0])
 	sc.ids = ids
-	return s.serveVecDecoded(cs, muxID, muxed, op, sc, derr)
+	return s.serveVecDecoded(cs, muxID, muxed, op, sc, derr, dl)
 }
 
 // serveVecDecoded is serveVecRequest after id decode — the mux read loop
 // decodes synchronously (the request buffer is reused for the next frame)
 // and hands the scratch to a dispatch goroutine, which enters here.
 // Releases sc on all paths.
-func (s *Server) serveVecDecoded(cs *muxConnState, muxID uint32, muxed bool, op byte, sc *serveScratch, derr error) error {
+func (s *Server) serveVecDecoded(cs *muxConnState, muxID uint32, muxed bool, op byte, sc *serveScratch, derr error, dl time.Time) error {
 	defer s.releaseScratch(sc)
 	if derr != nil {
 		return s.writeVecError(cs, muxID, muxed, sc, derr.Error())
+	}
+	// The budget may have drained while this request sat in the dispatch
+	// queue (the mux semaphore): re-check before touching the cache. Peer
+	// batch requests inherit the originating request's budget, so the check
+	// covers both ops.
+	if op == opPeerGetBatch && s.deadlineExpired(dl) {
+		return s.writeVecStatus(cs, muxID, muxed, sc, statusExpired)
 	}
 	var t0 time.Time
 	if op == opGetBatch && (s.obs.histsOn() || s.obs.slowThresh > 0) {
@@ -122,9 +131,12 @@ func (s *Server) serveVecDecoded(cs *muxConnState, muxID uint32, muxed bool, op 
 	if op == opPeerGetBatch {
 		s.fillPeerPinned(sc)
 	} else {
-		err = s.getBatchPinned(sc.ids, obs.TraceCtx{}, sc)
+		err = s.getBatchPinned(sc.ids, obs.TraceCtx{}, sc, dl)
 	}
 	if err != nil {
+		if errors.Is(err, overload.ErrExpired) {
+			return s.writeVecStatus(cs, muxID, muxed, sc, statusExpired)
+		}
 		return s.writeVecError(cs, muxID, muxed, sc, err.Error())
 	}
 	werr := s.writeVecResponse(cs, muxID, muxed, sc, op == opPeerGetBatch)
@@ -140,7 +152,12 @@ func (s *Server) serveVecDecoded(cs *muxConnState, muxID uint32, muxed bool, op 
 // sc.served, local hits pinned into sc.out, misses resolved through the
 // ordinary coalesced machinery and patched in afterwards. On error the
 // caller releases whatever pins were already taken via releaseScratch.
-func (s *Server) getBatchPinned(ids []dataset.SampleID, ctx obs.TraceCtx, sc *serveScratch) error {
+func (s *Server) getBatchPinned(ids []dataset.SampleID, ctx obs.TraceCtx, sc *serveScratch, dl time.Time) error {
+	// Same pre-policy deadline check as getBatch: an expired request leaves
+	// no trace in the cache counters.
+	if s.deadlineExpired(dl) {
+		return overload.ErrExpired
+	}
 	spec := s.source.Spec()
 	for _, id := range ids {
 		if !spec.Contains(id) {
@@ -189,9 +206,9 @@ func (s *Server) getBatchPinned(ids []dataset.SampleID, ctx obs.TraceCtx, sc *se
 	var samples []Sample
 	var err error
 	if dist := s.dist; dist != nil && dist.peerCfg.Batch > 0 {
-		samples, err = s.collectBatched(missIDs, ctx)
+		samples, err = s.collectBatched(missIDs, ctx, dl)
 	} else {
-		samples, err = s.collectSerial(missIDs, ctx, histsOn)
+		samples, err = s.collectSerial(missIDs, ctx, histsOn, dl)
 	}
 	if err != nil {
 		return err
@@ -250,6 +267,22 @@ func (s *Server) writeVecResponse(cs *muxConnState, muxID uint32, muxed bool, sc
 		v.U32(uint32(len(sp.b)))
 		v.Payload(sp.b)
 	}
+	cs.wmu.Lock()
+	_, err := v.WriteTo(cs.conn)
+	cs.wmu.Unlock()
+	return err
+}
+
+// writeVecStatus answers a body-less control status (statusExpired) on the
+// vectored path.
+func (s *Server) writeVecStatus(cs *muxConnState, muxID uint32, muxed bool, sc *serveScratch, status byte) error {
+	v := &sc.vec
+	v.Reset()
+	if muxed {
+		v.U8(opMuxReq)
+		v.U32(muxID)
+	}
+	v.U8(status)
 	cs.wmu.Lock()
 	_, err := v.WriteTo(cs.conn)
 	cs.wmu.Unlock()

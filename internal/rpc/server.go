@@ -13,6 +13,7 @@ import (
 	"icache/internal/dataset"
 	"icache/internal/icache"
 	"icache/internal/obs"
+	"icache/internal/overload"
 	"icache/internal/sampling"
 	"icache/internal/simclock"
 	"icache/internal/singleflight"
@@ -93,6 +94,18 @@ type Server struct {
 	connMu  sync.Mutex
 	connSet map[net.Conn]struct{}
 	closed  chan struct{}
+
+	// gate is the adaptive admission controller (nil = admit everything).
+	// Installed via SetAdmission before Serve; the serving path reads it
+	// without synchronization.
+	gate *overload.Gate
+	// shedCount / expiredCount (atomics) are requests rejected by the gate
+	// and requests dropped because their deadline budget ran out before the
+	// cache was touched. Neither increments any cache counter, so the
+	// conservation identity extends to
+	// hits+misses+substitutions+degraded + shed + expired == offered.
+	shedCount    int64
+	expiredCount int64
 
 	// dist holds the §III-E distributed wiring (nil on a lone server).
 	dist *distState
@@ -250,10 +263,49 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.serveMuxFrame(cs, req)
 			continue
 		}
-		if len(req) > 0 && s.vecOp(req[0]) {
+		// Peel any deadline envelope FIRST: both the vectored-path intercept
+		// and the admission gate key on the INNER opcode.
+		inner := req
+		var dl time.Time
+		if len(req) > 0 && req[0] == opDeadline && !s.legacyProto {
+			var derr error
+			inner, dl, _, derr = peelDeadline(req, time.Now())
+			if derr != nil {
+				msg := derr.Error()
+				if err := s.writeControlFrame(cs, 0, false, func(e *buffer) {
+					encodeErrorResponseInto(e, msg)
+				}); err != nil {
+					s.logIfUnexpected(err)
+					return
+				}
+				continue
+			}
+		}
+		// Admission: the legacy per-connection path shares the same gate as
+		// the mux fan-out, so a storm of serial connections is bounded too.
+		admitted := false
+		if g := s.gate; g != nil && gatedOp(inner) {
+			ok, after := g.Admit(time.Now())
+			if !ok {
+				atomic.AddInt64(&s.shedCount, 1)
+				if err := s.writeControlFrame(cs, 0, false, func(e *buffer) {
+					encodeRetryAfterResponseInto(e, after)
+				}); err != nil {
+					s.logIfUnexpected(err)
+					return
+				}
+				continue
+			}
+			admitted = true
+		}
+		if len(inner) > 0 && s.vecOp(inner[0]) {
 			// Hot ops take the zero-copy path: pinned slab payloads framed
 			// as one vectored write, no response buffer.
-			if err := s.serveVecRequest(cs, 0, false, req); err != nil {
+			err := s.serveVecRequest(cs, 0, false, inner, dl)
+			if admitted {
+				s.gate.Done()
+			}
+			if err != nil {
 				s.logIfUnexpected(err)
 				return
 			}
@@ -261,12 +313,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		wb := wire.GetBuffer()
 		e := buffer{Buffer: *wb}
-		s.dispatchInto(req, &e)
+		s.dispatchFull(inner, &e, obs.TraceCtx{}, dl)
 		wb.B = e.B // appends may have grown past the pooled backing array
 		cs.wmu.Lock()
 		err = writeFrame(conn, wb.B)
 		cs.wmu.Unlock()
 		wire.PutBuffer(wb)
+		if admitted {
+			s.gate.Done()
+		}
 		if err != nil {
 			s.logIfUnexpected(err)
 			return
@@ -298,46 +353,68 @@ func (s *Server) serveMuxFrame(cs *muxConnState, req []byte) {
 	d.u8() // opMuxReq (validated by the caller)
 	id := d.u32()
 	rest := d.rest()
-	if len(rest) > 0 && s.vecOp(rest[0]) {
-		// Zero-copy dispatch: decode the ids into a pooled scratch NOW (rest
+	// Deadline envelope sits inside the mux envelope; peel it before the
+	// vec check so a deadlined GetBatch keeps the zero-copy path.
+	inner := rest
+	var dl time.Time
+	if len(rest) > 0 && rest[0] == opDeadline {
+		var derr error
+		inner, dl, _, derr = peelDeadline(rest, time.Now())
+		if derr != nil {
+			msg := derr.Error()
+			if err := s.writeControlFrame(cs, id, true, func(e *buffer) {
+				encodeErrorResponseInto(e, msg)
+			}); err != nil {
+				s.logIfUnexpected(err)
+			}
+			return
+		}
+	}
+	// Admission runs BEFORE the per-connection semaphore: a shed request is
+	// answered synchronously from the read loop and never occupies a
+	// dispatch slot — that is the whole point of shedding.
+	admitted := false
+	if g := s.gate; g != nil && gatedOp(inner) {
+		ok, after := g.Admit(time.Now())
+		if !ok {
+			atomic.AddInt64(&s.shedCount, 1)
+			if err := s.writeControlFrame(cs, id, true, func(e *buffer) {
+				encodeRetryAfterResponseInto(e, after)
+			}); err != nil {
+				s.logIfUnexpected(err)
+			}
+			return
+		}
+		admitted = true
+	}
+	if len(inner) > 0 && s.vecOp(inner[0]) {
+		// Zero-copy dispatch: decode the ids into a pooled scratch NOW (inner
 		// aliases the reusable read buffer) and hand the scratch — not the
 		// request bytes — to the handler goroutine. No request copy.
-		op := rest[0]
+		op := inner[0]
 		sc := getServeScratch()
-		di := newReader(rest)
+		di := newReader(inner)
 		di.u8()
 		ids, derr := decodeGetBatchRequestInto(di, sc.ids[:0])
 		sc.ids = ids
-		cs.sem <- struct{}{}
-		cs.wg.Add(1)
-		atomic.AddInt64(&s.muxInflight, 1)
+		s.acquireMuxSlot(cs, admitted)
 		go func() {
-			defer func() {
-				atomic.AddInt64(&s.muxInflight, -1)
-				<-cs.sem
-				cs.wg.Done()
-			}()
-			if err := s.serveVecDecoded(cs, id, true, op, sc, derr); err != nil {
+			defer s.releaseMuxSlot(cs, admitted)
+			if err := s.serveVecDecoded(cs, id, true, op, sc, derr, dl); err != nil {
 				s.logIfUnexpected(err)
 			}
 		}()
 		return
 	}
-	inner := append([]byte(nil), rest...)
-	cs.sem <- struct{}{}
-	cs.wg.Add(1)
-	atomic.AddInt64(&s.muxInflight, 1)
+	innerCopy := append([]byte(nil), inner...)
+	s.acquireMuxSlot(cs, admitted)
 	go func() {
-		defer func() {
-			atomic.AddInt64(&s.muxInflight, -1)
-			<-cs.sem
-			cs.wg.Done()
-		}()
+		defer s.releaseMuxSlot(cs, admitted)
 		wb := wire.GetBuffer()
 		e := buffer{Buffer: *wb}
 		e.u8(opMuxReq)
 		e.u32(id)
-		s.dispatchInto(inner, &e)
+		s.dispatchFull(innerCopy, &e, obs.TraceCtx{}, dl)
 		wb.B = e.B
 		cs.wmu.Lock()
 		err := writeFrame(cs.conn, wb.B)
@@ -347,6 +424,37 @@ func (s *Server) serveMuxFrame(cs *muxConnState, req []byte) {
 			s.logIfUnexpected(err)
 		}
 	}()
+}
+
+// acquireMuxSlot takes a per-connection dispatch slot, feeding the time
+// spent blocked on the full semaphore — the server's standing queue delay —
+// to the admission gate's CoDel window and the admission_wait histogram.
+func (s *Server) acquireMuxSlot(cs *muxConnState, admitted bool) {
+	measure := admitted || s.obs.histsOn()
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
+	cs.sem <- struct{}{}
+	if measure {
+		now := time.Now()
+		wait := now.Sub(t0)
+		if admitted {
+			s.gate.Observe(now, wait)
+		}
+		s.obs.admissionWait.Record(wait)
+	}
+	cs.wg.Add(1)
+	atomic.AddInt64(&s.muxInflight, 1)
+}
+
+func (s *Server) releaseMuxSlot(cs *muxConnState, admitted bool) {
+	if admitted {
+		s.gate.Done()
+	}
+	atomic.AddInt64(&s.muxInflight, -1)
+	<-cs.sem
+	cs.wg.Done()
 }
 
 // MuxInflight reports the number of mux requests currently being served
@@ -359,6 +467,72 @@ func (s *Server) MuxInflight() int64 { return atomic.LoadInt64(&s.muxInflight) }
 // mixed-version interop tests can stand up a faithful "old binary" —
 // production servers never call it. Must be set before Serve.
 func (s *Server) SetLegacyProtocol(on bool) { s.legacyProto = on }
+
+// SetAdmission installs the adaptive admission gate (nil = admit
+// everything). Must be called before Serve. The gate's state ladder drives
+// the brownout side effects in order: Brownout first sacrifices optional
+// work — substitution scans stop and the prefetch pool pauses — and only
+// the Shed state rejects foreground requests; Normal restores both.
+func (s *Server) SetAdmission(g *overload.Gate) {
+	s.gate = g
+	if g == nil {
+		return
+	}
+	g.OnStateChange(func(_, next overload.State) {
+		// Called under the gate's mutex: atomic flag flips only, no locks.
+		degraded := next != overload.Normal
+		s.cache.SetSubstitutionsDisabled(degraded)
+		if s.prefetch != nil {
+			s.prefetch.setPaused(degraded)
+		}
+	})
+}
+
+// Admission exposes the installed gate (nil when admission is unbounded).
+func (s *Server) Admission() *overload.Gate { return s.gate }
+
+// OverloadCounters reports how many requests the server shed at admission
+// and how many it dropped for an expired deadline budget.
+func (s *Server) OverloadCounters() (shed, expired int64) {
+	return atomic.LoadInt64(&s.shedCount), atomic.LoadInt64(&s.expiredCount)
+}
+
+// gatedOp reports whether the admission gate applies to a request payload.
+// Health checks (opPing) and monitoring (opStats) always pass: an operator
+// must be able to see an overloaded server. A leading trace envelope is
+// skipped so traced data requests don't dodge the gate.
+func gatedOp(p []byte) bool {
+	if len(p) == 0 {
+		return false
+	}
+	op := p[0]
+	if op == opTraced && len(p) > tracedHeaderLen {
+		op = p[tracedHeaderLen]
+	}
+	switch op {
+	case opPing, opStats:
+		return false
+	}
+	return true
+}
+
+// writeControlFrame writes a small status-only response — shed/expired
+// rejections and pre-dispatch protocol errors — on the sync or mux path.
+func (s *Server) writeControlFrame(cs *muxConnState, muxID uint32, muxed bool, fill func(e *buffer)) error {
+	wb := wire.GetBuffer()
+	e := buffer{Buffer: *wb}
+	if muxed {
+		e.u8(opMuxReq)
+		e.u32(muxID)
+	}
+	fill(&e)
+	wb.B = e.B
+	cs.wmu.Lock()
+	err := writeFrame(cs.conn, wb.B)
+	cs.wmu.Unlock()
+	wire.PutBuffer(wb)
+	return err
+}
 
 func (s *Server) logIfUnexpected(err error) {
 	if errors.Is(err, net.ErrClosed) {
@@ -387,9 +561,17 @@ func (s *Server) dispatchInto(req []byte, e *buffer) {
 }
 
 // dispatchCtx is dispatchInto carrying the request's trace context (zero
-// when untraced). The opTraced envelope re-enters here exactly once:
-// nested envelopes are rejected, so recursion depth is bounded at one.
+// when untraced).
 func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
+	s.dispatchFull(req, e, ctx, time.Time{})
+}
+
+// dispatchFull is the dispatch core, carrying the request's trace context
+// (zero when untraced) and its absolute deadline (zero when unbounded).
+// Each envelope opcode — opTraced, opDeadline — re-enters here exactly
+// once: nesting the same envelope twice is rejected, so recursion depth is
+// bounded at two.
+func (s *Server) dispatchFull(req []byte, e *buffer, ctx obs.TraceCtx, dl time.Time) {
 	d := newReader(req)
 	op := d.u8()
 	switch op {
@@ -409,7 +591,29 @@ func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
 			encodeErrorResponseInto(e, "rpc: trace envelope with zero trace id")
 			return
 		}
-		s.dispatchCtx(d.rest(), e, inner)
+		s.dispatchFull(d.rest(), e, inner, dl)
+	case opDeadline:
+		// Normally peeled in the read loop (before the vec intercept); this
+		// case serves direct dispatch callers and a deadline nested inside a
+		// trace envelope.
+		if s.legacyProto {
+			encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
+			return
+		}
+		if !dl.IsZero() {
+			encodeErrorResponseInto(e, "rpc: nested deadline envelope")
+			return
+		}
+		budget := d.i64()
+		if err := d.err(); err != nil {
+			encodeErrorResponseInto(e, err.Error())
+			return
+		}
+		if budget <= 0 {
+			encodeErrorResponseInto(e, fmt.Sprintf("rpc: non-positive deadline budget %d", budget))
+			return
+		}
+		s.dispatchFull(d.rest(), e, ctx, time.Now().Add(time.Duration(budget)))
 	case opGetBatch:
 		var t0 time.Time
 		if s.obs.histsOn() || s.obs.tracing(ctx) || s.obs.slowThresh > 0 {
@@ -420,8 +624,12 @@ func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
 			encodeErrorResponseInto(e, err.Error())
 			return
 		}
-		samples, err := s.getBatch(ids, ctx)
+		samples, err := s.getBatch(ids, ctx, dl)
 		if err != nil {
+			if errors.Is(err, overload.ErrExpired) {
+				encodeExpiredResponseInto(e)
+				return
+			}
 			encodeErrorResponseInto(e, err.Error())
 			return
 		}
@@ -490,7 +698,14 @@ func (s *Server) dispatchCtx(req []byte, e *buffer, ctx obs.TraceCtx) {
 // any lock, coalesced per sample. ctx is the request's trace context (zero
 // when untraced); stage timings record into the obs histograms when
 // enabled.
-func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, error) {
+func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]Sample, error) {
+	// Deadline check BEFORE the policy engine runs: an expired request must
+	// not move cache state or counters, so shed+expired+served == offered
+	// stays an exact identity.
+	if s.deadlineExpired(dl) {
+		return nil, overload.ErrExpired
+	}
+
 	spec := s.source.Spec()
 	for _, id := range ids {
 		if !spec.Contains(id) {
@@ -509,16 +724,33 @@ func (s *Server) getBatch(ids []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, e
 	s.obs.policyLock.Since(tLock)
 
 	if dist := s.dist; dist != nil && dist.peerCfg.Batch > 0 {
-		return s.collectBatched(served, ctx)
+		return s.collectBatched(served, ctx, dl)
 	}
-	return s.collectSerial(served, ctx, histsOn)
+	return s.collectSerial(served, ctx, histsOn, dl)
+}
+
+// deadlineExpired reports whether a request's budget has run out, counting
+// the drop and recording the remaining-budget histogram as a side effect.
+// A zero deadline never expires.
+func (s *Server) deadlineExpired(dl time.Time) bool {
+	if dl.IsZero() {
+		return false
+	}
+	rem := time.Until(dl)
+	if rem > 0 {
+		s.obs.deadlineRem.Record(rem)
+		return false
+	}
+	s.obs.deadlineRem.Record(0)
+	atomic.AddInt64(&s.expiredCount, 1)
+	return true
 }
 
 // collectSerial resolves the served ids one at a time — the pre-batching
 // data plane, still used by lone servers and when the peer batch size is
 // configured to 0 (the serial escape hatch the before/after benchmark
 // compares against).
-func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, histsOn bool) ([]Sample, error) {
+func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, histsOn bool, dl time.Time) ([]Sample, error) {
 	out := make([]Sample, 0, len(served))
 	for _, id := range served {
 		var tHit time.Time
@@ -530,7 +762,7 @@ func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, hist
 			s.obs.localHit.Since(tHit)
 		} else {
 			var err error
-			payload, err = s.resolvePayload(id, ctx)
+			payload, err = s.resolvePayload(id, ctx, dl)
 			if err != nil {
 				return nil, fmt.Errorf("rpc: backend fetch of sample %d: %w", id, err)
 			}
@@ -548,7 +780,7 @@ func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, hist
 // concurrent requests (and the prefetch pool) for the same samples still
 // coalesce onto exactly one fetch and every waiter is satisfied exactly
 // once. See resolveMissBatch in peer.go for the fan-out itself.
-func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx) ([]Sample, error) {
+func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]Sample, error) {
 	histsOn := s.obs.histsOn()
 	out := make([]Sample, len(served))
 
@@ -590,7 +822,7 @@ func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx) ([]
 		}
 	}
 	if len(leads) > 0 {
-		s.resolveMissBatch(leads, calls, ctx)
+		s.resolveMissBatch(leads, calls, ctx, dl)
 	}
 
 	// Pass 3: collect results. Every position whose id entered the miss set
@@ -631,7 +863,7 @@ func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx) ([]
 // context of the request driving this fetch (zero for untraced requests
 // and prefetch work); when a traced request joins another request's
 // in-flight fetch, the executing request's context owns the spans.
-func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, error) {
+func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]byte, error) {
 	var tWait time.Time
 	if s.obs.histsOn() {
 		tWait = time.Now()
@@ -644,7 +876,7 @@ func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx) ([]byte, 
 		}
 		// A peer's cache is cheaper than the backend (§III-E flow:
 		// local cache → directory → remote cache → storage).
-		if remote, ok := s.resolveRemote(id, ctx); ok {
+		if remote, ok := s.resolveRemote(id, ctx, dl); ok {
 			// Owned elsewhere: this node must not keep a duplicate.
 			s.policyMu.Lock()
 			if s.cache.Drop(id) {
