@@ -3,14 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen bench-overload loadgen-smoke obs-smoke overload-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet lint test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen bench-overload loadgen-smoke obs-smoke overload-smoke experiments experiments-quick fuzz fuzz-short clean
 
-all: build vet test test-race chaos fuzz-short obs-smoke overload-smoke loadgen-smoke
+all: build lint test test-race chaos fuzz-short obs-smoke overload-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Lint gate: gofmt must produce no diffs (the target fails listing the
+# offending files) and go vet must be clean. Subsumes `vet` in `make all`.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test:
@@ -48,14 +57,17 @@ bench-serving:
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_serving.json < /tmp/bench_serving.txt
 
 # Observability smoke: the exposition goldens (Prometheus text + pinned
-# JSON bytes), the histogram/quantile property tests, the trace-envelope
-# rejection tables, and the two-node cross-node hop-chain round trips
-# (including the chaos variant with injected peer faults). Fast enough to
-# gate `make all` on; -count=1 defeats the test cache so the goldens are
+# JSON bytes + the byte-pinned /debug/timeline document), the
+# histogram/quantile property tests, the trace-envelope rejection tables,
+# the two-node cross-node hop-chain round trips (including the chaos
+# variant with injected peer faults), the decision-ledger conservation
+# identities, the journal/timeline concurrency suite, and the icache-top
+# scrape/render path against a fake two-node cluster. Fast enough to gate
+# `make all` on; -count=1 defeats the test cache so the goldens are
 # re-checked every run.
 obs-smoke:
-	$(GO) test -count=1 ./internal/obs/ ./internal/trace/
-	$(GO) test -count=1 -run 'TestMetricsJSONBytesUnchanged|TestPrometheusExposition|TestTraced|TestSlowRequest|TestObs|TestDebugObs' ./internal/rpc/
+	$(GO) test -count=1 ./internal/obs/ ./internal/trace/ ./internal/top/
+	$(GO) test -count=1 -run 'TestMetricsJSONBytesUnchanged|TestPrometheusExposition|TestTraced|TestSlowRequest|TestObs|TestDebugObs|TestDecisionLedger|TestJournalRecords|TestTimelinePoint' ./internal/rpc/
 	$(GO) test -count=1 -run 'TestDirTraced|TestDirEnvelope|TestDirObs' ./internal/dkv/
 
 # Batched remote data plane benchmark (the PR 5 scatter-gather work): two
@@ -115,7 +127,8 @@ loadgen-smoke:
 	$(GO) run ./cmd/icache-loadgen -smoke
 
 # Observability overhead benchmark (off vs histograms-armed vs every
-# request traced on the 8-client miss-heavy workload), archived as JSON.
+# request traced vs fully armed with journal+timeline, on the 8-client
+# miss-heavy workload), archived as JSON.
 bench-obs:
 	$(GO) test -run NONE -bench 'ObsOverhead' -benchmem -count=5 ./internal/rpc/ > /tmp/bench_obs.txt
 	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_obs.json < /tmp/bench_obs.txt

@@ -52,6 +52,7 @@ func main() {
 	debugAt := flag.String("debug-addr", "", "serve /debug/obs on this address (e.g. :7831); also arms the per-request latency histogram")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the debug address (requires -debug-addr)")
 	traceCSV := flag.String("trace-csv", "", "dump directory-side spans of traced requests to this CSV file at shutdown; also arms span recording")
+	traceMax := flag.Int("trace-csv-max-mb", 0, "cap the shutdown trace CSV at this many MB, keeping the newest events (0 = unlimited); the previous dump is rotated to <file>.1")
 	replicaID := flag.Int("replica-id", 0, "this replica's ID in a partitioned directory (used with -peers)")
 	peersFlag := flag.String("peers", "", "comma-separated id=addr list of the OTHER directory replicas (e.g. 1=host2:7821,2=host3:7821); enables replica mode")
 	ringInterval := flag.Duration("ring-interval", time.Second, "how often replicas exchange ring views (replica mode)")
@@ -63,6 +64,10 @@ func main() {
 	dir := dkv.NewDirectory()
 	dir.SetMembershipParams(*leaseTTL, *suspect)
 	srv := dkv.NewDirServer(dir)
+	// Control-plane journal: membership flips and shard hand-offs are rare
+	// events, so the journal is always-on.
+	journal := obs.NewJournal(1024)
+	srv.SetJournal(journal)
 	if *maxInfl > 0 || *targetQD > 0 {
 		srv.SetAdmission(overload.NewGate(overload.GateConfig{
 			MaxInflight: *maxInfl,
@@ -102,9 +107,33 @@ func main() {
 	}
 
 	var debugSrv *http.Server
+	var tlStop chan struct{}
 	if *debugAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/obs", srv.DebugObsHandler())
+		// Directory-side timeline: ownership and membership counters once a
+		// second, ten minutes of lookback.
+		timeline := obs.NewTimeline(600, func() map[string]float64 {
+			claims, denied := dir.Stats()
+			ms := dir.Membership()
+			return map[string]float64{
+				"owned":             float64(dir.Len()),
+				"claims":            float64(claims),
+				"claims_denied":     float64(denied),
+				"registers":         float64(ms.Registers),
+				"heartbeats":        float64(ms.Heartbeats),
+				"heartbeat_rejects": float64(ms.HeartbeatRejects),
+				"suspects":          float64(ms.Suspects),
+				"deaths":            float64(ms.Deaths),
+				"revivals":          float64(ms.Revivals),
+				"reclaims":          float64(ms.Reclaims),
+				"purged":            float64(ms.Purged),
+			}
+		})
+		tlStop = make(chan struct{})
+		go timeline.Run(time.Second, tlStop)
+		mux.Handle("/debug/timeline", timeline.Handler())
+		mux.Handle("/debug/journal", journal.Handler(nil))
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -128,6 +157,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("icache-dkv: shutting down")
+		if tlStop != nil {
+			close(tlStop)
+		}
 		if debugSrv != nil {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			if err := debugSrv.Shutdown(ctx); err != nil {
@@ -136,15 +168,21 @@ func main() {
 			cancel()
 		}
 		if tracer != nil {
+			if _, err := os.Stat(*traceCSV); err == nil {
+				if err := os.Rename(*traceCSV, *traceCSV+".1"); err != nil {
+					log.Printf("icache-dkv: trace rotate: %v", err)
+				}
+			}
 			if f, err := os.Create(*traceCSV); err != nil {
 				log.Printf("icache-dkv: trace dump: %v", err)
 			} else {
-				if err := tracer.WriteCSV(f); err != nil {
+				cut, err := tracer.WriteCSVLimited(f, int64(*traceMax)<<20)
+				if err != nil {
 					log.Printf("icache-dkv: trace dump: %v", err)
 				}
 				f.Close()
-				log.Printf("icache-dkv: trace (%d events retained, %d total) dumped to %s",
-					tracer.Len(), tracer.Total(), *traceCSV)
+				log.Printf("icache-dkv: trace (%d events retained, %d total, %d cut by size cap) dumped to %s",
+					tracer.Len(), tracer.Total(), cut, *traceCSV)
 			}
 		}
 		close(ringStop)

@@ -92,6 +92,7 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "warm-restart checkpoint file: load at boot, save at shutdown")
 		metricsAt = flag.String("metrics-addr", "", "serve a metrics endpoint on this address (e.g. :7830): JSON at /metrics, Prometheus text at /metrics?format=prom; also arms the per-stage latency histograms")
 		traceCSV  = flag.String("trace-csv", "", "dump a request-event trace (policy events + cross-node spans) to this CSV file at shutdown; also arms span recording for traced requests")
+		traceMax  = flag.Int("trace-csv-max-mb", 0, "cap the shutdown trace CSV at this many MB, keeping the newest events (0 = unlimited); the previous dump is rotated to <file>.1")
 		slowReq   = flag.Duration("slow-request-threshold", 0, "log GetBatch serves slower than this (0 disables; at most one line per 10s)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof and /debug/obs on the metrics address (requires -metrics-addr)")
 		nodeID    = flag.Int("node-id", -1, "distributed mode: this node's ID (requires -dir)")
@@ -153,6 +154,12 @@ func main() {
 	}
 
 	srv := rpc.NewServer(cacheSrv, source)
+	// The control-plane journal records rare decision events (gate
+	// transitions, breaker trips, epoch boundaries, membership flips); it is
+	// cheap enough to keep always-on. Install it before EnableDistributed so
+	// per-peer breakers pick it up at creation.
+	journal := obs.NewJournal(1024)
+	srv.SetJournal(journal)
 	if *maxInfl > 0 || *targetQD > 0 {
 		srv.SetAdmission(overload.NewGate(overload.GateConfig{
 			MaxInflight: *maxInfl,
@@ -253,9 +260,18 @@ func main() {
 	// in-flight scrapes finish (bounded by a timeout) instead of being cut
 	// mid-response when the process exits.
 	var metricsSrv *http.Server
+	var tlStop chan struct{}
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/healthz", srv.HealthHandler())
+		// One snapshot per second for ten minutes of lookback: enough for
+		// icache-top's rate windows and for eyeballing a whole fig-13 run,
+		// at ~600 small points of memory.
+		timeline := obs.NewTimeline(600, srv.TimelinePoint)
+		tlStop = make(chan struct{})
+		go timeline.Run(time.Second, tlStop)
+		mux.Handle("/debug/timeline", timeline.Handler())
+		mux.Handle("/debug/journal", journal.Handler(srv.Exemplars()))
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -283,6 +299,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("icache-server: shutting down")
+		if tlStop != nil {
+			close(tlStop)
+		}
 		if metricsSrv != nil {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			if err := metricsSrv.Shutdown(ctx); err != nil {
@@ -298,15 +317,23 @@ func main() {
 			}
 		}
 		if tracer != nil {
+			// Rotate the previous dump out of the way so two consecutive
+			// runs never overwrite each other's evidence.
+			if _, err := os.Stat(*traceCSV); err == nil {
+				if err := os.Rename(*traceCSV, *traceCSV+".1"); err != nil {
+					log.Printf("icache-server: trace rotate: %v", err)
+				}
+			}
 			if f, err := os.Create(*traceCSV); err != nil {
 				log.Printf("icache-server: trace dump: %v", err)
 			} else {
-				if err := tracer.WriteCSV(f); err != nil {
+				cut, err := tracer.WriteCSVLimited(f, int64(*traceMax)<<20)
+				if err != nil {
 					log.Printf("icache-server: trace dump: %v", err)
 				}
 				f.Close()
-				log.Printf("icache-server: trace (%d events retained, %d total) dumped to %s",
-					tracer.Len(), tracer.Total(), *traceCSV)
+				log.Printf("icache-server: trace (%d events retained, %d total, %d cut by size cap) dumped to %s",
+					tracer.Len(), tracer.Total(), cut, *traceCSV)
 			}
 		}
 		srv.Close()

@@ -11,6 +11,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/metrics"
+	"icache/internal/obs"
 	"icache/internal/simclock"
 )
 
@@ -36,6 +37,18 @@ type Directory struct {
 	defaultTTL    time.Duration
 	suspectWindow time.Duration
 	ms            metrics.MembershipStats
+
+	// journal, when set, receives membership-flip events (see SetJournal).
+	journal *obs.Journal
+}
+
+// SetJournal installs a control-plane event journal: every observed
+// Live/Suspect/Dead transition and revival is appended as an
+// obs.EventMembership event. nil = off (the default).
+func (d *Directory) SetJournal(j *obs.Journal) {
+	d.mu.Lock()
+	d.journal = j
+	d.mu.Unlock()
 }
 
 // NewDirectory returns an empty directory with default membership timing.

@@ -6,6 +6,7 @@ import (
 
 	"icache/internal/dataset"
 	"icache/internal/metrics"
+	"icache/internal/obs"
 	"icache/internal/simclock"
 )
 
@@ -137,7 +138,7 @@ func (d *Directory) stateOf(node NodeID, now simclock.Time) NodeState {
 // counters (mu held). Derived state makes transitions observable only when
 // someone looks, so every public membership/data operation calls this first.
 func (d *Directory) syncStates(now simclock.Time) {
-	for _, l := range d.nodes {
+	for id, l := range d.nodes {
 		st := l.stateAt(now, d.suspectWindow)
 		if st == l.state {
 			continue
@@ -151,6 +152,8 @@ func (d *Directory) syncStates(now simclock.Time) {
 		if st == NodeDead {
 			d.ms.Deaths++
 		}
+		d.journal.Add(obs.EventMembership, int64(id), int64(l.state), int64(st),
+			l.state.String()+"→"+st.String())
 		l.state = st
 	}
 }
@@ -174,6 +177,8 @@ func (d *Directory) Register(node NodeID, ttl time.Duration) NodeInfo {
 		d.nodes[node] = l
 	} else if l.state != NodeLive {
 		d.ms.Revivals++
+		d.journal.Add(obs.EventMembership, int64(node), int64(l.state), int64(NodeLive),
+			l.state.String()+"→live (revival)")
 	}
 	l.ttl = ttl
 	l.expires = now + ttl

@@ -68,6 +68,18 @@ type DirServer struct {
 	// gate is the optional admission controller on data operations (see
 	// overload.go); nil = everything admitted.
 	gate *overload.Gate
+
+	// journal, when set, receives shard hand-off events; SetJournal also
+	// arms the wrapped Directory's membership-flip events.
+	journal *obs.Journal
+}
+
+// SetJournal installs a control-plane event journal on the server AND the
+// wrapped Directory: membership Live/Suspect/Dead flips and shard
+// hand-off sweeps are appended as typed events. Call before Serve.
+func (s *DirServer) SetJournal(j *obs.Journal) {
+	s.journal = j
+	s.dir.SetJournal(j)
 }
 
 // NewDirServer wraps dir for network service.

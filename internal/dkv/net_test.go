@@ -163,7 +163,7 @@ func TestDirClientRidesThroughMidFrameCloses(t *testing.T) {
 				go func(c net.Conn) {
 					defer c.Close()
 					buf := make([]byte, 5)
-					io.ReadFull(c, buf) // swallow part of the request
+					io.ReadFull(c, buf)         // swallow part of the request
 					c.Write([]byte{0x00, 0x00}) // half a frame header, then die
 				}(conn)
 				continue

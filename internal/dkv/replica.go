@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/obs"
 	"icache/internal/retry"
 	"icache/internal/simclock"
 	"icache/internal/wire"
@@ -276,6 +277,8 @@ func (s *DirServer) handoffSweep(view RingView, max int) int {
 		rs.mu.Lock()
 		rs.dropped += int64(dropped)
 		rs.mu.Unlock()
+		s.journal.Add(obs.EventHandoff, int64(rs.self), int64(view.Epoch), int64(dropped),
+			"shard hand-off sweep")
 	}
 	return dropped
 }

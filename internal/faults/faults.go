@@ -29,9 +29,9 @@ import (
 // Operation names used by the built-in wrappers. Rules with Op=="" match
 // every operation.
 const (
-	OpConnRead    = "conn.read"    // faults.Conn read path
-	OpConnWrite   = "conn.write"   // faults.Conn write path
-	OpSourceFetch = "source.fetch" // storage.DataSource / faults.Source
+	OpConnRead     = "conn.read"     // faults.Conn read path
+	OpConnWrite    = "conn.write"    // faults.Conn write path
+	OpSourceFetch  = "source.fetch"  // storage.DataSource / faults.Source
 	OpDirLookup    = "dir.lookup"    // directory lookups (dkv or simulated)
 	OpDirClaim     = "dir.claim"     // directory claims
 	OpDirRelease   = "dir.release"   // directory releases

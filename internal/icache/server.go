@@ -51,6 +51,8 @@ type Server struct {
 	managed bool
 
 	stats metrics.CacheStats
+	// dec holds the decision-level introspection counters (see decision.go).
+	dec decisionState
 
 	// Per-sample access frequency EMAs for PartitionByFrequency.
 	freqH, freqL         float64
@@ -186,6 +188,7 @@ func (s *Server) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker, r
 // startEpoch performs the per-epoch manager duties shared by single-job and
 // coordinated modes.
 func (s *Server) startEpoch(at simclock.Time) {
+	s.snapshotEpochResidency()
 	s.tracer.Record(at, trace.KindEpoch, 0, s.epoch)
 	s.epoch++
 	s.repartition()
@@ -198,6 +201,9 @@ func (s *Server) startEpoch(at simclock.Time) {
 	}
 	s.epochHReq, s.epochLReq = 0, 0
 }
+
+// Epoch reports how many epoch boundaries the server has crossed.
+func (s *Server) Epoch() int64 { return s.epoch }
 
 // InstallHList makes hl the active H-list and refreshes the H-heap's
 // importance values under the shadow-heap protocol.
@@ -253,8 +259,10 @@ func (s *Server) StartEpoch(at simclock.Time) { s.startEpoch(at) }
 // Drop removes a sample from whichever cache region holds it, reporting
 // whether it was resident. The distributed byte-serving layer uses it when
 // a directory claim is lost: the node must not keep a duplicate copy.
+// Equivalent to DropFor with the dead-owner reason; callers with a more
+// specific reason (scrub repair, denied checkpoint replay) use DropFor.
 func (s *Server) Drop(id dataset.SampleID) bool {
-	return s.h.remove(id) || s.l.remove(id)
+	return s.DropFor(id, DropDeadOwner)
 }
 
 // Resident reports whether a sample currently lives in either cache region.
@@ -522,6 +530,9 @@ func (s *Server) pickSubstitute() (dataset.SampleID, bool) {
 		sub, ok = s.randomHResident()
 	}
 	s.subScanHist.Since(t0)
+	if ok {
+		s.noteSubstitution(s.cfg.Substitute)
+	}
 	return sub, ok
 }
 

@@ -117,11 +117,17 @@ type Report struct {
 	// overload harness: Requests == successes + Errors + Shed + Expired.
 	Errors int64 `json:"errors"`
 	// Shed counts requests the server rejected with a retry-after hint
-	// (admission control working as designed).
-	Shed int64 `json:"shed,omitempty"`
+	// (admission control working as designed). Always present — a zero
+	// here under a storm is itself a finding (the gate never engaged).
+	Shed int64 `json:"shed"`
 	// Expired counts requests whose deadline budget ran out — dropped
-	// server-side (statusExpired) or timed out locally.
-	Expired int64 `json:"expired,omitempty"`
+	// server-side (statusExpired) or timed out locally. Always present,
+	// so the shed/expired split is visible even when one side is zero.
+	Expired int64 `json:"expired"`
+	// WarmupRequests counts requests issued and DISCARDED during the
+	// warmup phase — they primed caches and connections but are in none
+	// of the figures above.
+	WarmupRequests int64 `json:"warmup_requests"`
 	// Behind counts requests that were issued late (the scheduled instant
 	// had already passed — the server, not the generator, was the
 	// bottleneck). At saturation every request is behind.
@@ -183,8 +189,9 @@ func Run(cfg Config) (Report, error) {
 		interval = time.Duration(float64(time.Second) / perConnReqRate)
 	}
 
+	var warmupIssued int64
 	if cfg.Warmup > 0 {
-		runPhase(cfg, conns, interval, cfg.Warmup, 0, nil)
+		warmupIssued = runPhase(cfg, conns, interval, cfg.Warmup, 0, nil)
 	}
 
 	hist := obs.NewHistogram()
@@ -206,6 +213,7 @@ func Run(cfg Config) (Report, error) {
 		Shed:           atomic.LoadInt64(&counters.shed),
 		Expired:        atomic.LoadInt64(&counters.expired),
 		Behind:         atomic.LoadInt64(&counters.behind),
+		WarmupRequests: warmupIssued,
 	}
 	if elapsed > 0 {
 		rep.SamplesPerSec = float64(rep.Samples) / elapsed
@@ -239,10 +247,12 @@ type measured struct {
 	c    *runCounters
 }
 
-// runPhase drives every connection for one phase (warmup or measured).
-// budget is the shared request budget (0 = unbounded).
-func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration, budget int64, m *measured) {
+// runPhase drives every connection for one phase (warmup or measured) and
+// reports how many requests it actually issued (the warmup-discard count
+// when m is nil). budget is the shared request budget (0 = unbounded).
+func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration, budget int64, m *measured) int64 {
 	var issued int64 // shared budget counter
+	var sent int64   // requests actually put on the wire this phase
 	start := time.Now()
 	var deadline time.Time
 	if duration > 0 {
@@ -293,6 +303,7 @@ func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration,
 				}
 				mix.fill(ids)
 				got = 0
+				atomic.AddInt64(&sent, 1)
 				var err error
 				if cfg.Deadline > 0 {
 					// The budget runs from the SCHEDULED start: a request that
@@ -335,4 +346,5 @@ func runPhase(cfg Config, conns []*rpc.Client, interval, duration time.Duration,
 		}(i, conn)
 	}
 	wg.Wait()
+	return atomic.LoadInt64(&sent)
 }

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is a bounded, lock-striped ring of typed control-plane events:
+// overload state transitions, breaker trips and recoveries, membership
+// flips, shard hand-offs and epoch boundaries. It answers "what changed
+// around the time the metrics moved" — the decision-level complement to
+// the counters and histograms, cheap enough to leave armed in production
+// because events are rare (state *transitions*, never per-request).
+//
+// Writers are striped by sequence number so concurrent event sources never
+// contend on one lock; readers merge the stripes by sequence. A nil
+// *Journal is a valid no-op sink, mirroring the nil-Histogram contract.
+//
+// Capacity bounds memory: once a stripe wraps, its oldest events are
+// overwritten silently and Dropped() reports how many were lost.
+
+// EventKind classifies a journal event.
+type EventKind uint8
+
+const (
+	// EventGate is an overload admission-gate state transition
+	// (Old/New are overload.State values).
+	EventGate EventKind = iota
+	// EventBreaker is a per-peer circuit-breaker transition
+	// (Node is the peer, Old/New are overload.BreakerState values).
+	EventBreaker
+	// EventMembership is a node liveness flip (Live/Suspect/Dead) or a
+	// node-side lease event (reject, re-register).
+	EventMembership
+	// EventHandoff is a directory shard hand-off sweep (New carries the
+	// dropped-entry count, Node the ring epoch).
+	EventHandoff
+	// EventEpoch is a training-epoch boundary on a cache node.
+	EventEpoch
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventGate:
+		return "gate"
+	case EventBreaker:
+		return "breaker"
+	case EventMembership:
+		return "membership"
+	case EventHandoff:
+		return "handoff"
+	case EventEpoch:
+		return "epoch"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one journal entry. Old/New are kind-specific small integers
+// (state enums, counts); Detail is a short human label ("normal→shed");
+// Trace optionally links the event to a trace chain (0 = none).
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	At     int64     `json:"at_ns"`
+	Kind   EventKind `json:"-"`
+	KindS  string    `json:"kind"`
+	Node   int64     `json:"node"`
+	Old    int64     `json:"old"`
+	New    int64     `json:"new"`
+	Detail string    `json:"detail"`
+	Trace  uint64    `json:"trace,omitempty"`
+}
+
+const journalStripes = 8
+
+type journalStripe struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int    // insert cursor
+	total uint64 // events ever appended to this stripe
+	_     [4]uint64
+}
+
+// Journal is the bounded event ring. Construct with NewJournal.
+type Journal struct {
+	seq     uint64 // atomic: global sequence, also the total-event count
+	stripes [journalStripes]journalStripe
+	now     func() time.Time // injectable for deterministic tests
+}
+
+// NewJournal builds a journal retaining about capacity events (rounded up
+// to a multiple of the stripe count; minimum one per stripe).
+func NewJournal(capacity int) *Journal {
+	per := (capacity + journalStripes - 1) / journalStripes
+	if per < 1 {
+		per = 1
+	}
+	j := &Journal{now: time.Now}
+	for i := range j.stripes {
+		j.stripes[i].ring = make([]Event, per)
+	}
+	return j
+}
+
+// Add appends one event. Safe for concurrent use; no-op on a nil journal.
+func (j *Journal) Add(kind EventKind, node, old, new int64, detail string) {
+	j.AddTraced(kind, node, old, new, detail, 0)
+}
+
+// AddTraced is Add carrying a trace-ID exemplar.
+func (j *Journal) AddTraced(kind EventKind, node, old, new int64, detail string, trace uint64) {
+	if j == nil {
+		return
+	}
+	seq := atomic.AddUint64(&j.seq, 1)
+	ev := Event{
+		Seq:    seq,
+		At:     j.now().UnixNano(),
+		Kind:   kind,
+		Node:   node,
+		Old:    old,
+		New:    new,
+		Detail: detail,
+		Trace:  trace,
+	}
+	st := &j.stripes[seq%journalStripes]
+	st.mu.Lock()
+	st.ring[st.next] = ev
+	st.next = (st.next + 1) % len(st.ring)
+	st.total++
+	st.mu.Unlock()
+}
+
+// Total reports how many events were ever appended.
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&j.seq)
+}
+
+// Snapshot returns the retained events ordered by sequence (oldest first).
+func (j *Journal) Snapshot() []Event {
+	if j == nil {
+		return nil
+	}
+	var out []Event
+	for i := range j.stripes {
+		st := &j.stripes[i]
+		st.mu.Lock()
+		n := st.total
+		if n > uint64(len(st.ring)) {
+			n = uint64(len(st.ring))
+		}
+		for k := uint64(0); k < n; k++ {
+			out = append(out, st.ring[k])
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	var retained uint64
+	for i := range j.stripes {
+		st := &j.stripes[i]
+		st.mu.Lock()
+		n := st.total
+		if n > uint64(len(st.ring)) {
+			n = uint64(len(st.ring))
+		}
+		retained += n
+		st.mu.Unlock()
+	}
+	return j.Total() - retained
+}
+
+// journalDoc is the /debug/journal JSON document.
+type journalDoc struct {
+	Total     uint64           `json:"total"`
+	Dropped   uint64           `json:"dropped"`
+	Events    []Event          `json:"events"`
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// Handler serves the journal as JSON on /debug/journal. ex may be nil.
+func (j *Journal) Handler(ex *Exemplars) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := j.Snapshot()
+		for i := range events {
+			events[i].KindS = events[i].Kind.String()
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		doc := journalDoc{
+			Total:     j.Total(),
+			Dropped:   j.Dropped(),
+			Events:    events,
+			Exemplars: ex.Snapshot(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}
+
+// Exemplars records, per latency-histogram bucket, the trace ID of the
+// most recent traced request that landed there — the bridge from "the p99
+// bucket moved" to a concrete stitched trace chain in the trace ring.
+// Lock-free: one atomic slot per bucket, last writer wins. A nil
+// *Exemplars is a valid no-op sink.
+type Exemplars struct {
+	slots [NumBuckets]uint64 // atomic: last trace ID per bucket
+}
+
+// Record notes that a traced request of duration d carried trace id.
+// Zero ids are ignored (untraced requests).
+func (e *Exemplars) Record(d time.Duration, trace uint64) {
+	if e == nil || trace == 0 {
+		return
+	}
+	atomic.StoreUint64(&e.slots[bucketIndex(d)], trace)
+}
+
+// BucketExemplar is one bucket's last-seen trace ID.
+type BucketExemplar struct {
+	Bucket  int    `json:"bucket"`
+	UpperNS int64  `json:"upper_ns"`
+	Trace   uint64 `json:"trace"`
+}
+
+// Snapshot returns the non-empty bucket exemplars in bucket order.
+func (e *Exemplars) Snapshot() []BucketExemplar {
+	if e == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for k := 0; k < NumBuckets; k++ {
+		if t := atomic.LoadUint64(&e.slots[k]); t != 0 {
+			out = append(out, BucketExemplar{Bucket: k, UpperNS: BucketUpper(k), Trace: t})
+		}
+	}
+	return out
+}

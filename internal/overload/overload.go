@@ -356,11 +356,37 @@ type Breaker struct {
 	fastFails  int64
 	probes     int64
 	recoveries int64
+
+	onState func(old, next BreakerState)
 }
 
 // NewBreaker builds a Breaker. cfg zero values take the defaults.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// OnStateChange registers fn to run on every circuit transition (trip,
+// half-open probe grant, recovery). Single slot — the last registration
+// wins. fn runs with the breaker mutex held, so it must be fast and must
+// not call back into the breaker; the rpc layer uses it to journal trips
+// and recoveries.
+func (b *Breaker) OnStateChange(fn func(old, next BreakerState)) {
+	b.mu.Lock()
+	b.onState = fn
+	b.mu.Unlock()
+}
+
+// transitionLocked moves the circuit to next and fires the state hook
+// (mu held).
+func (b *Breaker) transitionLocked(next BreakerState) {
+	if b.state == next {
+		return
+	}
+	old := b.state
+	b.state = next
+	if b.onState != nil {
+		b.onState(old, next)
+	}
 }
 
 // Allow reports whether a call may proceed now. In HalfOpen exactly one
@@ -377,7 +403,7 @@ func (b *Breaker) Allow(now time.Time) bool {
 			b.fastFails++
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.transitionLocked(BreakerHalfOpen)
 		b.probing = true
 		b.probes++
 		return true
@@ -400,7 +426,7 @@ func (b *Breaker) Report(now time.Time, ok bool) {
 		if b.state != BreakerClosed {
 			b.recoveries++
 		}
-		b.state = BreakerClosed
+		b.transitionLocked(BreakerClosed)
 		b.fails = 0
 		b.probing = false
 		return
@@ -408,13 +434,13 @@ func (b *Breaker) Report(now time.Time, ok bool) {
 	switch b.state {
 	case BreakerHalfOpen:
 		// The probe failed: back to Open for another cooldown.
-		b.state = BreakerOpen
+		b.transitionLocked(BreakerOpen)
 		b.openedAt = now
 		b.probing = false
 	case BreakerClosed:
 		b.fails++
 		if b.fails >= b.cfg.Threshold {
-			b.state = BreakerOpen
+			b.transitionLocked(BreakerOpen)
 			b.openedAt = now
 			b.trips++
 		}

@@ -205,6 +205,12 @@ func BenchmarkServeHitPath(b *testing.B) {
 //	traced: histograms plus span recording with every request traced
 //	        (1-in-1 sampling, far denser than any production -trace-sample
 //	        setting), the worst case for envelope encode/decode cost.
+//	armed:  the full decision-observability deployment — histograms, span
+//	        tracing, the control-plane journal AND a 1s timeline ticker —
+//	        i.e. what a production node runs with -metrics-addr and
+//	        -trace-csv. Budget: within ~3% of traced, since the journal
+//	        appends only on rare state transitions and the timeline
+//	        collector runs once a second off the serving path.
 //
 // Archived via `make bench-obs` into BENCH_obs.json.
 func BenchmarkObsOverhead(b *testing.B) {
@@ -213,7 +219,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 		clients        = 8
 		backendLatency = 200 * time.Microsecond
 	)
-	for _, mode := range []string{"off", "hists", "traced"} {
+	for _, mode := range []string{"off", "hists", "traced", "armed"} {
 		b.Run(mode, func(b *testing.B) {
 			srv, addr, _ := benchServer(b, backendLatency)
 			spec := dataset.Spec{Name: "bench", NumSamples: 4096, MeanSampleBytes: 1024, Seed: 7}
@@ -223,10 +229,17 @@ func BenchmarkObsOverhead(b *testing.B) {
 			switch mode {
 			case "hists":
 				srv.EnableObs(obs.NewRegistry(), nil)
-			case "traced":
+			case "traced", "armed":
 				srv.EnableObs(obs.NewRegistry(), trace.NewRecorder(1<<16))
 				clientTrc = trace.NewRecorder(1 << 16)
 				sampler = obs.NewSampler(1)
+			}
+			if mode == "armed" {
+				srv.SetJournal(obs.NewJournal(1024))
+				tl := obs.NewTimeline(600, srv.TimelinePoint)
+				tlStop := make(chan struct{})
+				go tl.Run(time.Second, tlStop)
+				defer close(tlStop)
 			}
 
 			conns := make([]*Client, clients)

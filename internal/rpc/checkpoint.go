@@ -40,6 +40,7 @@ func (s *Server) LoadCheckpoint(r io.Reader, rehydrate bool) error {
 		// into a recyclable slab is safe AND packs the whole warm set into
 		// slab-class blocks instead of len(residents) loose heap objects.
 		s.payloads.putCopy(id, payload)
+		s.dec.countAdmit(provRehydrate)
 	}
 	return nil
 }

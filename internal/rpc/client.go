@@ -66,7 +66,7 @@ type Client struct {
 	addr    string
 	timeout time.Duration
 	policy  retry.Policy
-	rng     *rand.Rand // jitter PRNG; thread-safe via lockedSource
+	rng     *rand.Rand          // jitter PRNG; thread-safe via lockedSource
 	sleep   func(time.Duration) // nil = time.Sleep; tests may stub
 
 	// rpcTimeout bounds every round trip (0 = unbounded): a per-call

@@ -1,0 +1,171 @@
+package rpc
+
+// Tests for the decision-level observability layer: the reason-coded
+// eviction ledger, admission provenance, the prefetch-outcome ledger and
+// its epoch-boundary conservation identity, the control-plane journal, and
+// the timeline collector.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"icache/internal/dataset"
+	"icache/internal/icache"
+	"icache/internal/leakcheck"
+	"icache/internal/obs"
+	"icache/internal/sampling"
+)
+
+// TestDecisionLedgerConservation drives real traffic (foreground fetches,
+// background prefetch deliveries, a directed drop) across epoch boundaries
+// and then pins the full decision ledger:
+//
+//	EvictCapacity + EvictDeadOwner + EvictScrub + EvictCheckpointDenied == EvictTotal
+//	PrefetchInTime + PrefetchLate + PrefetchWasted + PrefetchDropped    == PrefetchIssued
+//
+// The prefetch identity holds exactly at an epoch boundary because the
+// sweep reclassifies every outstanding pending token as wasted; the
+// eviction identity holds always.
+func TestDecisionLedgerConservation(t *testing.T) {
+	defer leakcheck.Check(t)
+	srv, addr, _ := startServer(t)
+	cl := dial(t, addr)
+	spec := testSpec()
+
+	// Small H-list; everything else is L, so L misses feed the loader and
+	// its package deliveries feed the prefetch pool.
+	var items []sampling.Item
+	for id := dataset.SampleID(0); id < 20; id++ {
+		items = append(items, sampling.Item{ID: id, IV: 5})
+	}
+	if err := cl.UpdateImportance(items); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]dataset.SampleID, 8)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := range ids {
+			ids[i] = dataset.SampleID(100 + rng.Intn(spec.NumSamples-100))
+		}
+		if _, err := cl.GetBatch(ids); err != nil {
+			t.Fatal(err)
+		}
+		if sv := srv.ServingStats(); sv.PrefetchQueued > 0 && sv.PrefetchCompleted > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sv := srv.ServingStats(); sv.PrefetchQueued == 0 {
+		t.Fatalf("prefetch pool saw no deliveries: %+v", sv)
+	}
+
+	// A directed drop with a reason code: make a sample resident, then
+	// remove it the way the scrubber would.
+	if _, err := cl.GetBatch([]dataset.SampleID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	srv.policyMu.Lock()
+	dropped := srv.cache.DropFor(2, icache.DropScrub)
+	srv.policyMu.Unlock()
+	if !dropped {
+		t.Fatal("sample 2 was not resident to drop")
+	}
+
+	// Two epoch turns: the first sweeps outstanding prefetch tokens, the
+	// second proves the ledger stays balanced across repeated boundaries.
+	for epoch := 1; epoch <= 2; epoch++ {
+		if err := cl.BeginEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := srv.DecisionStats()
+	if sum := d.EvictCapacity + d.EvictDeadOwner + d.EvictScrub + d.EvictCheckpointDenied; sum != d.EvictTotal {
+		t.Errorf("eviction ledger leaks: capacity %d + dead-owner %d + scrub %d + ckpt-denied %d = %d, want EvictTotal %d",
+			d.EvictCapacity, d.EvictDeadOwner, d.EvictScrub, d.EvictCheckpointDenied, sum, d.EvictTotal)
+	}
+	if d.EvictScrub == 0 {
+		t.Error("directed scrub drop was not reason-counted")
+	}
+	if sum := d.PrefetchInTime + d.PrefetchLate + d.PrefetchWasted + d.PrefetchDropped; sum != d.PrefetchIssued {
+		t.Errorf("prefetch ledger leaks: in-time %d + late %d + wasted %d + dropped %d = %d, want issued %d",
+			d.PrefetchInTime, d.PrefetchLate, d.PrefetchWasted, d.PrefetchDropped, sum, d.PrefetchIssued)
+	}
+	if d.PrefetchIssued == 0 {
+		t.Error("no prefetches issued; the ledger test exercised nothing")
+	}
+	if r := d.PrefetchTimeliness(); r < 0 || r > 1 {
+		t.Errorf("timeliness ratio %g outside [0,1]", r)
+	}
+	if d.AdmitFetch == 0 {
+		t.Error("foreground admissions not provenance-counted")
+	}
+	if d.AdmitPeer != 0 {
+		t.Errorf("AdmitPeer = %d; peer bytes must never be locally admitted (no-duplication invariant)", d.AdmitPeer)
+	}
+	if d.Epoch != 2 {
+		t.Errorf("epoch = %d, want 2", d.Epoch)
+	}
+	if d.EpochHCount == 0 && d.EpochLCount == 0 {
+		t.Error("epoch-boundary residency snapshot is empty")
+	}
+}
+
+// TestJournalRecordsEpochBoundaries wires a journal into a serving node and
+// checks that BeginEpoch appends epoch events with the right transition
+// numbering.
+func TestJournalRecordsEpochBoundaries(t *testing.T) {
+	defer leakcheck.Check(t)
+	srv, addr, _ := startServer(t)
+	j := obs.NewJournal(64)
+	srv.SetJournal(j)
+	cl := dial(t, addr)
+
+	for epoch := 1; epoch <= 3; epoch++ {
+		if err := cl.BeginEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var epochs []obs.Event
+	for _, e := range j.Snapshot() {
+		if e.Kind == obs.EventEpoch {
+			epochs = append(epochs, e)
+		}
+	}
+	if len(epochs) != 3 {
+		t.Fatalf("journal holds %d epoch events, want 3", len(epochs))
+	}
+	for i, e := range epochs {
+		if e.Old != int64(i) || e.New != int64(i+1) {
+			t.Fatalf("epoch event %d is %d→%d, want %d→%d", i, e.Old, e.New, i, i+1)
+		}
+	}
+}
+
+// TestTimelinePointCarriesDecisionSeries checks the per-node timeline
+// collector exposes the series icache-top renders: request rates, overload
+// state, the eviction-reason and prefetch-outcome ledgers.
+func TestTimelinePointCarriesDecisionSeries(t *testing.T) {
+	defer leakcheck.Check(t)
+	srv, addr, _ := startServer(t)
+	cl := dial(t, addr)
+	if _, err := cl.GetBatch([]dataset.SampleID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	p := srv.TimelinePoint()
+	for _, key := range []string{
+		"requests", "hits", "misses", "shed", "gate_state", "breakers_open",
+		"evict_capacity", "evict_dead_owner", "prefetch_issued", "prefetch_timeliness",
+		"sub_exact", "epoch", "hcache_len", "payload_len",
+	} {
+		if _, ok := p[key]; !ok {
+			t.Errorf("timeline point lacks series %q", key)
+		}
+	}
+	if p["requests"] == 0 {
+		t.Error("requests series did not move")
+	}
+}

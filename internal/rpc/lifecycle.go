@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"icache/internal/dataset"
+	"icache/internal/icache"
 	"icache/internal/metrics"
+	"icache/internal/obs"
 )
 
 // This file is the wall-clock node-lifecycle loop of the network server —
@@ -166,6 +168,10 @@ func (s *Server) heartbeatOnce() {
 	}
 	dist.memMu.Unlock()
 	if !renewed {
+		// The node-side view of a Live→Suspect flip: the directory let the
+		// lease lapse, so ownership may have moved while this node was away.
+		s.journal.Add(obs.EventMembership, s.journalNode(), 0, 0,
+			"lease lapsed; re-registering")
 		s.registerAndReconcile()
 	}
 }
@@ -205,7 +211,9 @@ func (s *Server) registerAndReconcile() {
 		}
 		dist.memMu.Unlock()
 		if !claimed {
-			s.dropResident(id)
+			// A restored resident whose replayed claim was denied: the
+			// survivor won while this node was away.
+			s.dropResident(id, icache.DropCheckpointDenied)
 		}
 	}
 }
@@ -276,7 +284,7 @@ func (s *Server) scrubOnce() {
 				continue
 			}
 			if found {
-				s.dropResident(id)
+				s.dropResident(id, icache.DropScrub)
 				dist.memMu.Lock()
 				dist.mem.ScrubDropped++
 				dist.memMu.Unlock()
@@ -295,7 +303,7 @@ func (s *Server) scrubOnce() {
 			}
 			dist.memMu.Unlock()
 			if !claimed {
-				s.dropResident(id)
+				s.dropResident(id, icache.DropScrub)
 			}
 		}
 		dist.memMu.Lock()
@@ -313,12 +321,13 @@ func (s *Server) scrubOnce() {
 }
 
 // dropResident removes a sample this node must not keep (the directory says
-// another node owns it, or a denied claim). The eviction observer fires and
-// issues a best-effort Release — harmless, since the directory only honours
-// releases from the current owner.
-func (s *Server) dropResident(id dataset.SampleID) {
+// another node owns it, or a denied claim), tagging the eviction with its
+// decision reason. The eviction observer fires and issues a best-effort
+// Release — harmless, since the directory only honours releases from the
+// current owner.
+func (s *Server) dropResident(id dataset.SampleID, reason icache.DropReason) {
 	s.policyMu.Lock()
-	s.cache.Drop(id)
+	s.cache.DropFor(id, reason)
 	s.policyMu.Unlock()
 }
 

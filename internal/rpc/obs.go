@@ -109,6 +109,10 @@ type serverObs struct {
 
 	tracer *trace.Recorder
 
+	// exemplars pins, per request-latency bucket, the last traced request
+	// that landed there (armed with the histograms; nil = off).
+	exemplars *obs.Exemplars
+
 	slowThresh time.Duration
 	slowLim    *obs.RateLimiter
 }
@@ -138,6 +142,7 @@ func (s *Server) EnableObs(reg *obs.Registry, tracer *trace.Recorder) {
 	s.obs.prefetchWt = reg.Hist(StagePrefetchQueueWait)
 	s.obs.admissionWait = reg.Hist(StageAdmissionWait)
 	s.obs.deadlineRem = reg.Hist(StageDeadlineRemaining)
+	s.obs.exemplars = &obs.Exemplars{}
 	s.cache.SetSubstitutionScanHist(reg.Hist(StageSubstitutionScan))
 }
 

@@ -165,6 +165,15 @@ func TestPrometheusExposition(t *testing.T) {
 		"icache_buffer_pool_gets_total",
 		"icache_hcache_len",
 		"icache_uptime_seconds",
+		"icache_evict_capacity_total",      // decision family: reason-coded evictions
+		"icache_evict_reasoned_total",      //
+		"icache_admit_fetch_total",         // admission provenance
+		"icache_prefetch_issued_total",     // prefetch-outcome ledger
+		"icache_prefetch_timeliness_ratio", //
+		"icache_substitution_exact_total",  // substitution quality
+		"icache_epoch_hcache_len",          // epoch-boundary residency
+		"icache_journal_events_total",      // journal retention
+		"icache_trace_dropped_spans_total", // trace-ring retention
 	} {
 		if !strings.Contains(text, "\n"+name+" ") && !strings.Contains(text, "\n# TYPE "+name+" ") {
 			t.Errorf("prometheus exposition missing %s", name)

@@ -135,6 +135,10 @@ type distState struct {
 	peerAddrs map[dkv.NodeID]string
 	peerCfg   PeerConfig
 
+	// journal, when set, receives breaker-transition events (copied from
+	// the server's journal at EnableDistributed / SetJournal time).
+	journal *obs.Journal
+
 	mu    sync.Mutex
 	peers map[dkv.NodeID]*peerSlot
 	// breakers holds one circuit breaker per peer NODE (not per client):
@@ -177,6 +181,7 @@ func (s *Server) EnableDistributed(nodeID dkv.NodeID, dir dkv.Service, peerAddrs
 		peerCfg:   defaultPeerConfig(),
 		peers:     make(map[dkv.NodeID]*peerSlot),
 		breakers:  make(map[dkv.NodeID]*overload.Breaker),
+		journal:   s.journal,
 	}
 }
 
@@ -193,6 +198,15 @@ func (d *distState) breakerLocked(node dkv.NodeID) *overload.Breaker {
 			Threshold: d.peerCfg.BreakerThreshold,
 			Cooldown:  d.peerCfg.BreakerCooldown,
 		})
+		if j := d.journal; j != nil {
+			peer := node
+			b.OnStateChange(func(old, next overload.BreakerState) {
+				// Runs under the breaker mutex; the journal's striped
+				// append is the only lock taken.
+				j.Add(obs.EventBreaker, int64(peer), int64(old), int64(next),
+					"peer breaker "+old.String()+"→"+next.String())
+			})
+		}
 		d.breakers[node] = b
 	}
 	return b
@@ -577,7 +591,7 @@ func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.Samp
 			finish(id, nil, err)
 			continue
 		}
-		s.admit(id, p)
+		s.admit(id, p, provFetch)
 		finish(id, p, nil)
 	}
 }

@@ -50,6 +50,26 @@ type prefetcher struct {
 	dropped   int64 // IDs discarded because the queue was full
 	failed    int64 // prefetch fetches that errored (sample stays lazy)
 
+	// Prefetch-outcome ledger (the decision-level taxonomy: see
+	// metrics.DecisionStats). Every queued ID gets one pending token;
+	// whoever removes the token counts the outcome, so each queued
+	// prefetch resolves to exactly one of in-time / late / wasted /
+	// failed. At an epoch boundary the sweep reclassifies every
+	// outstanding token as wasted, which is what makes the ledger balance
+	// exactly there:
+	//
+	//	inTime + late + wasted + failedOutcome == queued
+	inTime        int64 // prefetched payload served a request (atomic)
+	late          int64 // the foreground beat the worker to the fetch (atomic)
+	wasted        int64 // evicted or epoch-swept untouched (atomic)
+	failedOutcome int64 // failed fetches that held a pending token (atomic)
+
+	// pending is the token set; pendN mirrors its size atomically so the
+	// hot hit path can skip the lock when no prefetch is outstanding.
+	pendMu  sync.Mutex
+	pending map[dataset.SampleID]struct{}
+	pendN   int64
+
 	// paused (atomic 0/1) is the brownout switch: while set, enqueue drops
 	// every delivery so background backend reads stop competing with
 	// overloaded foreground serving. Samples stay lazily fetchable.
@@ -66,6 +86,7 @@ func newPrefetcher(s *Server, workers int) *prefetcher {
 		q:       make(chan prefetchItem, workers*64),
 		workers: workers,
 		done:    make(chan struct{}),
+		pending: make(map[dataset.SampleID]struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -86,6 +107,13 @@ func (p *prefetcher) enqueue(id dataset.SampleID) {
 		atomic.AddInt64(&p.dropped, 1)
 		return
 	}
+	if !p.pendAdd(id) {
+		// Already pending: a redundant re-delivery of an ID the pool is
+		// still working on (or whose bytes already sit untouched in the
+		// store). Skip it silently — queueing it again would only burn a
+		// worker turn to discover the payload is present.
+		return
+	}
 	it := prefetchItem{id: id}
 	if p.s.obs.histsOn() {
 		it.at = time.Now()
@@ -94,7 +122,79 @@ func (p *prefetcher) enqueue(id dataset.SampleID) {
 	case p.q <- it:
 		atomic.AddInt64(&p.queued, 1)
 	default:
+		p.pendRemove(id)
 		atomic.AddInt64(&p.dropped, 1)
+	}
+}
+
+// pendAdd grants id a pending token; false when one is already out.
+func (p *prefetcher) pendAdd(id dataset.SampleID) bool {
+	p.pendMu.Lock()
+	if _, ok := p.pending[id]; ok {
+		p.pendMu.Unlock()
+		return false
+	}
+	p.pending[id] = struct{}{}
+	atomic.AddInt64(&p.pendN, 1)
+	p.pendMu.Unlock()
+	return true
+}
+
+// pendRemove redeems id's pending token; false when it was already
+// redeemed (the outcome is then someone else's to count).
+func (p *prefetcher) pendRemove(id dataset.SampleID) bool {
+	p.pendMu.Lock()
+	if _, ok := p.pending[id]; !ok {
+		p.pendMu.Unlock()
+		return false
+	}
+	delete(p.pending, id)
+	atomic.AddInt64(&p.pendN, -1)
+	p.pendMu.Unlock()
+	return true
+}
+
+// noteHit records that a local hit served id: if its prefetch token is
+// still out, the prefetch arrived in time. The atomic pendN probe keeps
+// the hot hit path lock-free whenever nothing is pending.
+func (p *prefetcher) noteHit(id dataset.SampleID) {
+	if p == nil || atomic.LoadInt64(&p.pendN) == 0 {
+		return
+	}
+	if p.pendRemove(id) {
+		atomic.AddInt64(&p.inTime, 1)
+	}
+}
+
+// noteEvict records that id was evicted: a still-pending token means the
+// prefetched bytes were never touched — wasted work. Runs under policyMu
+// (the eviction observer); pendMu is a leaf lock.
+func (p *prefetcher) noteEvict(id dataset.SampleID) {
+	if p == nil || atomic.LoadInt64(&p.pendN) == 0 {
+		return
+	}
+	if p.pendRemove(id) {
+		atomic.AddInt64(&p.wasted, 1)
+	}
+}
+
+// sweepEpoch reclassifies every outstanding pending token as wasted: the
+// epoch whose selection wanted those samples is over. Called at the epoch
+// boundary under policyMu, which excludes concurrent enqueues (the loader
+// delivers under the same lock).
+func (p *prefetcher) sweepEpoch() {
+	if p == nil {
+		return
+	}
+	p.pendMu.Lock()
+	n := len(p.pending)
+	if n > 0 {
+		p.pending = make(map[dataset.SampleID]struct{})
+		atomic.StoreInt64(&p.pendN, 0)
+	}
+	p.pendMu.Unlock()
+	if n > 0 {
+		atomic.AddInt64(&p.wasted, int64(n))
 	}
 }
 
@@ -113,16 +213,25 @@ func (p *prefetcher) worker() {
 			// through resolvePayload → admit → adopt: the fetch buffer becomes
 			// the slab with zero additional copies.
 			if p.s.payloads.has(id) {
+				// The foreground (or an earlier prefetch) beat us to it.
+				if p.pendRemove(id) {
+					atomic.AddInt64(&p.late, 1)
+				}
 				atomic.AddInt64(&p.completed, 1)
 				continue
 			}
-			if _, err := p.s.resolvePayload(id, obs.TraceCtx{}, time.Time{}); err != nil {
+			if _, err := p.s.resolvePayloadProv(id, obs.TraceCtx{}, time.Time{}, provPrefetch); err != nil {
 				// Best effort: a failed prefetch is not a serving error —
 				// the sample will be fetched (with retries as configured)
 				// when a client actually asks for it.
+				if p.pendRemove(id) {
+					atomic.AddInt64(&p.failedOutcome, 1)
+				}
 				atomic.AddInt64(&p.failed, 1)
 				continue
 			}
+			// Success: the token stays out until a hit (in-time), an
+			// eviction (wasted) or the epoch sweep (wasted) redeems it.
 			atomic.AddInt64(&p.completed, 1)
 		}
 	}

@@ -138,6 +138,42 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Counter("icache_overload_breaker_probes_total", "half-open probe calls issued to suspect peers", float64(ov.BreakerProbes))
 	p.Counter("icache_overload_breaker_recoveries_total", "peer breakers re-closed by a successful probe", float64(ov.BreakerRecoveries))
 
+	// Decision-level introspection family (metrics.DecisionStats): reason-
+	// coded evictions, admission provenance, the prefetch-outcome ledger,
+	// substitution quality, and the epoch-boundary residency snapshot.
+	d := s.DecisionStats()
+	p.Counter("icache_evict_capacity_total", "evictions by the policy's own insert pressure", float64(d.EvictCapacity))
+	p.Counter("icache_evict_dead_owner_total", "drops because the directory credits another node", float64(d.EvictDeadOwner))
+	p.Counter("icache_evict_scrub_total", "drops by the anti-entropy scrubber", float64(d.EvictScrub))
+	p.Counter("icache_evict_checkpoint_denied_total", "restored residents dropped on a denied ownership replay", float64(d.EvictCheckpointDenied))
+	p.Counter("icache_evict_reasoned_total", "all removals (reason-coded counters sum to this)", float64(d.EvictTotal))
+	p.Counter("icache_admit_fetch_total", "payload admissions driven by foreground fetches", float64(d.AdmitFetch))
+	p.Counter("icache_admit_prefetch_total", "payload admissions driven by the prefetch pool", float64(d.AdmitPrefetch))
+	p.Counter("icache_admit_rehydrate_total", "payload admissions from checkpoint rehydration", float64(d.AdmitRehydrate))
+	p.Counter("icache_admit_peer_total", "payload admissions of peer-fetched bytes (0 while the no-duplication invariant holds)", float64(d.AdmitPeer))
+	p.Counter("icache_prefetch_issued_total", "prefetch deliveries offered to the pool", float64(d.PrefetchIssued))
+	p.Counter("icache_prefetch_in_time_total", "prefetched payloads that served a request before anything else happened", float64(d.PrefetchInTime))
+	p.Counter("icache_prefetch_late_total", "prefetches the foreground beat to the fetch", float64(d.PrefetchLate))
+	p.Counter("icache_prefetch_wasted_total", "prefetched payloads evicted or epoch-swept untouched", float64(d.PrefetchWasted))
+	p.Counter("icache_prefetch_outcome_dropped_total", "prefetch deliveries dropped at enqueue plus failed fetches", float64(d.PrefetchDropped))
+	p.Gauge("icache_prefetch_timeliness_ratio", "in-time / (in-time + late + wasted); 0 before any prefetch resolves", d.PrefetchTimeliness())
+	p.Counter("icache_substitution_exact_total", "substitutions served by the same-region L-cache walk", float64(d.SubExact))
+	p.Counter("icache_substitution_fallback_total", "substitutions served by the cross-region H-resident fallback", float64(d.SubFallback))
+	p.Gauge("icache_epoch", "training epochs the cache has crossed", float64(d.Epoch))
+	p.Gauge("icache_epoch_hcache_len", "H-cache residents at the last epoch boundary", float64(d.EpochHCount))
+	p.Gauge("icache_epoch_lcache_len", "L-cache residents at the last epoch boundary", float64(d.EpochLCount))
+	p.Gauge("icache_epoch_hcache_bytes", "H-cache bytes at the last epoch boundary", float64(d.EpochHBytes))
+	p.Gauge("icache_epoch_lcache_bytes", "L-cache bytes at the last epoch boundary", float64(d.EpochLBytes))
+
+	// Event-journal and trace-ring retention family.
+	p.Counter("icache_journal_events_total", "control-plane events appended to the journal", float64(s.journal.Total()))
+	p.Counter("icache_journal_dropped_total", "journal events overwritten by ring wraparound", float64(s.journal.Dropped()))
+	var traceDropped uint64
+	if t := s.obs.tracer; t != nil {
+		traceDropped = t.Total() - uint64(t.Len())
+	}
+	p.Counter("icache_trace_dropped_spans_total", "trace spans overwritten by ring wraparound", float64(traceDropped))
+
 	// Per-stage latency histograms (nil registry emits nothing).
 	p.Registry("icache_stage", s.obs.reg)
 

@@ -185,6 +185,7 @@ func (s *Server) getBatchPinned(ids []dataset.SampleID, ctx obs.TraceCtx, sc *se
 		}
 		if b, sl, ok := s.payloads.getPinned(id); ok {
 			s.obs.localHit.Since(tHit)
+			s.prefetch.noteHit(id)
 			sc.out = append(sc.out, servedPayload{id: id, b: b, pin: sl, ok: true})
 			continue
 		}

@@ -42,21 +42,21 @@ type ByteSource interface {
 // lock classes exist, and they must be acquired in this order (any prefix
 // is fine, the reverse is forbidden):
 //
-//	policyMu  →  payload-store shard locks (leaf)
-//	connMu (independent leaf: listener/connection bookkeeping only)
+//		policyMu  →  payload-store shard locks (leaf)
+//		connMu (independent leaf: listener/connection bookkeeping only)
 //
-//   - policyMu guards the icache.Server policy engine (FetchBatch,
-//     InstallHList, StartEpoch, Stats, Resident, Drop, checkpoints) and is
-//     only ever held for short, CPU-bound critical sections. It is NEVER
-//     held across ByteSource.Fetch, peer reads, directory calls, or frame
-//     I/O. Cache mutations fire the eviction observer synchronously, so
-//     the observer also runs under policyMu; it may take shard locks
-//     (policyMu → shard is the legal order) and must not block.
-//   - payload-store shard locks (see payloadStore in store.go) are leaves:
-//     taken and released inside single store methods, never held across
-//     any other acquisition or I/O.
-//   - connMu guards the listener and the live-connection set; it nests
-//     with nothing.
+//	  - policyMu guards the icache.Server policy engine (FetchBatch,
+//	    InstallHList, StartEpoch, Stats, Resident, Drop, checkpoints) and is
+//	    only ever held for short, CPU-bound critical sections. It is NEVER
+//	    held across ByteSource.Fetch, peer reads, directory calls, or frame
+//	    I/O. Cache mutations fire the eviction observer synchronously, so
+//	    the observer also runs under policyMu; it may take shard locks
+//	    (policyMu → shard is the legal order) and must not block.
+//	  - payload-store shard locks (see payloadStore in store.go) are leaves:
+//	    taken and released inside single store methods, never held across
+//	    any other acquisition or I/O.
+//	  - connMu guards the listener and the live-connection set; it nests
+//	    with nothing.
 //
 // Slow work — backend fetches and remote peer reads — happens outside all
 // locks, coalesced per sample ID through a singleflight group so K
@@ -116,6 +116,12 @@ type Server struct {
 	// reads these fields without synchronization.
 	obs serverObs
 
+	// journal is the optional control-plane event journal (nil = off);
+	// installed via SetJournal before Serve. dec holds the serving-layer
+	// decision counters (see decision.go).
+	journal *obs.Journal
+	dec     rpcDecisions
+
 	// Logf sinks server logs; defaults to log.Printf. Tests may silence it.
 	Logf func(format string, args ...interface{})
 }
@@ -141,6 +147,8 @@ func NewServer(cacheSrv *icache.Server, source ByteSource) *Server {
 		// async and never blocks here.
 		s.payloads.delete(id)
 		s.releaseOwnership(id)
+		// An eviction before any hit means a pending prefetch was wasted.
+		s.prefetch.noteEvict(id)
 	})
 	if n := cacheSrv.PrefetchWorkers(); n > 0 {
 		s.prefetch = newPrefetcher(s, n)
@@ -478,13 +486,16 @@ func (s *Server) SetAdmission(g *overload.Gate) {
 	if g == nil {
 		return
 	}
-	g.OnStateChange(func(_, next overload.State) {
-		// Called under the gate's mutex: atomic flag flips only, no locks.
+	g.OnStateChange(func(old, next overload.State) {
+		// Called under the gate's mutex: atomic flag flips and the
+		// lock-striped journal append only, no server locks.
 		degraded := next != overload.Normal
 		s.cache.SetSubstitutionsDisabled(degraded)
 		if s.prefetch != nil {
 			s.prefetch.setPaused(degraded)
 		}
+		s.journal.Add(obs.EventGate, s.journalNode(), int64(old), int64(next),
+			old.String()+"→"+next.String())
 	})
 }
 
@@ -638,6 +649,9 @@ func (s *Server) dispatchFull(req []byte, e *buffer, ctx obs.TraceCtx, dl time.T
 			dur := time.Since(t0)
 			s.obs.request.Record(dur)
 			s.span(trace.KindRPCRecv, 0, int64(len(ids)), ctx, dur)
+			// Pin this trace as the latency-bucket exemplar: the journal's
+			// bridge from "the p99 bucket moved" to a stitched trace chain.
+			s.obs.exemplars.Record(dur, ctx.ID)
 			s.maybeLogSlow(ctx, len(ids), dur)
 		}
 	case opUpdateImportance:
@@ -654,7 +668,12 @@ func (s *Server) dispatchFull(req []byte, e *buffer, ctx obs.TraceCtx, dl time.T
 		_ = d.u32() // epoch number: accepted for symmetry/logging
 		s.policyMu.Lock()
 		s.cache.StartEpoch(s.now())
+		// Settle the prefetch-outcome ledger: pending prefetches the
+		// finished epoch never touched are wasted work.
+		s.prefetch.sweepEpoch()
+		epoch := s.cache.Epoch()
 		s.policyMu.Unlock()
+		s.journal.Add(obs.EventEpoch, s.journalNode(), epoch-1, epoch, "epoch boundary")
 		e.u8(statusOK)
 	case opStats:
 		s.policyMu.Lock()
@@ -760,6 +779,7 @@ func (s *Server) collectSerial(served []dataset.SampleID, ctx obs.TraceCtx, hist
 		payload, ok := s.payloads.get(id)
 		if ok {
 			s.obs.localHit.Since(tHit)
+			s.prefetch.noteHit(id)
 		} else {
 			var err error
 			payload, err = s.resolvePayload(id, ctx, dl)
@@ -796,6 +816,7 @@ func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx, dl 
 		}
 		if payload, ok := s.payloads.get(id); ok {
 			s.obs.localHit.Since(tHit)
+			s.prefetch.noteHit(id)
 			out[i] = Sample{ID: id, Payload: payload}
 			continue
 		}
@@ -864,6 +885,14 @@ func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx, dl 
 // and prefetch work); when a traced request joins another request's
 // in-flight fetch, the executing request's context owns the spans.
 func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx, dl time.Time) ([]byte, error) {
+	return s.resolvePayloadProv(id, ctx, dl, provFetch)
+}
+
+// resolvePayloadProv is resolvePayload carrying the admission provenance
+// of the caller (foreground fetch vs. prefetch worker). When callers with
+// different provenance coalesce onto one flight, the executor's provenance
+// wins — attribution is per fetch, not per waiter.
+func (s *Server) resolvePayloadProv(id dataset.SampleID, ctx obs.TraceCtx, dl time.Time, prov admitProv) ([]byte, error) {
 	var tWait time.Time
 	if s.obs.histsOn() {
 		tWait = time.Now()
@@ -898,7 +927,7 @@ func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx, dl time.T
 		if err != nil {
 			return nil, err
 		}
-		s.admit(id, p)
+		s.admit(id, p, prov)
 		return p, nil
 	})
 	if shared {
@@ -914,7 +943,7 @@ func (s *Server) resolvePayload(id dataset.SampleID, ctx obs.TraceCtx, dl time.T
 // sample resident and (in distributed mode) the directory claim succeeds.
 // Called without locks; takes policyMu only for the residency checks and
 // the final store insert, never across the directory call.
-func (s *Server) admit(id dataset.SampleID, payload []byte) {
+func (s *Server) admit(id dataset.SampleID, payload []byte, prov admitProv) {
 	s.policyMu.Lock()
 	resident := s.cache.Resident(id)
 	s.policyMu.Unlock()
@@ -934,6 +963,7 @@ func (s *Server) admit(id dataset.SampleID, payload []byte) {
 	s.policyMu.Lock()
 	if s.cache.Resident(id) {
 		s.payloads.put(id, payload)
+		s.dec.countAdmit(prov)
 	} else {
 		// Evicted while we were claiming; hand the claim back.
 		s.releaseOwnership(id)

@@ -229,7 +229,7 @@ func TestBeginManyKeysBatchResolution(t *testing.T) {
 			}
 		}(i)
 	}
-	begun.Wait() // every waiter joined before resolution starts
+	begun.Wait()                  // every waiter joined before resolution starts
 	for i := n - 1; i >= 0; i-- { // resolve in reverse order
 		g.Finish(int64(i), calls[i], []byte{byte(i)}, nil)
 	}

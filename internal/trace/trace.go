@@ -220,3 +220,61 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteCSVLimited is WriteCSV under a byte budget: when the full dump
+// would exceed maxBytes, the OLDEST rows are cut so the newest suffix
+// (plus the header) fits — the end of a soak run is what a post-mortem
+// reads first. maxBytes <= 0 means unlimited. It returns how many retained
+// events were cut; ring-overwrite drops are reported by Total()-Len() as
+// usual.
+func (r *Recorder) WriteCSVLimited(w io.Writer, maxBytes int64) (cut int, err error) {
+	if maxBytes <= 0 {
+		return 0, r.WriteCSV(w)
+	}
+	events := r.Snapshot()
+	rows := make([][]string, len(events))
+	header := []string{"at_ns", "kind", "id", "arg", "trace", "hop", "dur_ns"}
+	// Budget accounting mirrors encoding/csv's default output: fields
+	// joined by commas plus a trailing newline. None of our fields need
+	// quoting, so the estimate is exact.
+	size := func(rec []string) int64 {
+		n := int64(len(rec)) // separators + newline
+		for _, f := range rec {
+			n += int64(len(f))
+		}
+		return n
+	}
+	budget := maxBytes - size(header)
+	for i, e := range events {
+		rows[i] = []string{
+			strconv.FormatInt(int64(e.At), 10),
+			e.Kind.String(),
+			strconv.FormatInt(int64(e.ID), 10),
+			strconv.FormatInt(e.Arg, 10),
+			strconv.FormatUint(e.TraceID, 16),
+			strconv.FormatUint(uint64(e.Hop), 10),
+			strconv.FormatInt(int64(e.Dur), 10),
+		}
+	}
+	// Walk from the newest row backwards, keeping what fits.
+	start := len(rows)
+	for i := len(rows) - 1; i >= 0; i-- {
+		n := size(rows[i])
+		if n > budget {
+			break
+		}
+		budget -= n
+		start = i
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return start, err
+	}
+	for _, rec := range rows[start:] {
+		if err := cw.Write(rec); err != nil {
+			return start, err
+		}
+	}
+	cw.Flush()
+	return start, cw.Error()
+}
