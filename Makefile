@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen bench-overload loadgen-smoke obs-smoke overload-smoke experiments experiments-quick fuzz fuzz-short clean
+.PHONY: all build vet lint test test-short test-race chaos bench bench-serving bench-obs bench-peer bench-dir bench-loadgen bench-overload bench-prefetch loadgen-smoke obs-smoke overload-smoke prefetch-smoke experiments experiments-quick fuzz fuzz-short clean
 
-all: build lint test test-race chaos fuzz-short obs-smoke overload-smoke loadgen-smoke
+all: build lint test test-race chaos fuzz-short obs-smoke overload-smoke loadgen-smoke prefetch-smoke
 
 build:
 	$(GO) build ./...
@@ -125,6 +125,25 @@ overload-smoke:
 # the harness binary itself cannot rot.
 loadgen-smoke:
 	$(GO) run ./cmd/icache-loadgen -smoke
+
+# Clairvoyant-prefetch gate (the planned cross-epoch pre-placement work):
+# the same epoch-boundary workload runs reactive and clairvoyant; the
+# benchmark FAILS unless warm-epoch cold misses drop >= 10x and the
+# prefetch in-time ratio reaches 0.9. The clairvoyant run's samples/sec,
+# cold-miss count and in-time ratio are archived as JSON and compared
+# against the archived baseline (-check fails the build on a >10%
+# throughput regression or an allocs/op rise).
+bench-prefetch:
+	$(GO) test -run NONE -bench 'PrefetchEpochs' -benchmem -count=3 ./internal/loadgen/ > /tmp/bench_prefetch.txt
+	$(GO) run ./cmd/icache-benchjson -label after -update BENCH_prefetch.json < /tmp/bench_prefetch.txt
+	$(GO) run ./cmd/icache-benchjson -check BENCH_prefetch.json
+
+# Sub-second self-contained clairvoyant smoke (boots an in-process planning
+# server, pushes each epoch's schedule ahead of its accesses, asserts later
+# epochs run nearly cold-miss-free and the prefetch-outcome ledger stays
+# exactly conserved): gates `make all` so the planner cannot rot.
+prefetch-smoke:
+	$(GO) run ./cmd/icache-loadgen -prefetch-smoke
 
 # Observability overhead benchmark (off vs histograms-armed vs every
 # request traced vs fully armed with journal+timeline, on the 8-client

@@ -88,6 +88,8 @@ func main() {
 		hShare    = flag.Float64("h-share", 0.9, "fraction of the cache given to the H-region")
 		noLCache  = flag.Bool("no-lcache", false, "disable the L-cache (the +HC ablation configuration)")
 		prefetchN = flag.Int("prefetch-workers", 4, "async prefetch worker pool size for L-package byte loading (the paper's Fig. 15 knob); 0 disables prefetching")
+		clairv    = flag.Bool("clairvoyant", false, "enable planned cross-epoch prefetching: clients that push each epoch's schedule (BeginEpochPlan) get their missing working set pre-placed ahead of access (requires -prefetch-workers > 0)")
+		planBW    = flag.Float64("prefetch-bandwidth", 0, "clairvoyant drain budget in bytes/sec; 0 auto-calibrates to half the observed backend fetch throughput")
 		seed      = flag.Int64("seed", 42, "server randomness seed")
 		ckptPath  = flag.String("checkpoint", "", "warm-restart checkpoint file: load at boot, save at shutdown")
 		metricsAt = flag.String("metrics-addr", "", "serve a metrics endpoint on this address (e.g. :7830): JSON at /metrics, Prometheus text at /metrics?format=prom; also arms the per-stage latency histograms")
@@ -154,6 +156,14 @@ func main() {
 	}
 
 	srv := rpc.NewServer(cacheSrv, source)
+	if *clairv {
+		srv.SetClairvoyant(rpc.PlanConfig{BandwidthBytesPerSec: *planBW})
+		if *planBW > 0 {
+			log.Printf("icache-server: clairvoyant planning on (drain budget %.0f bytes/sec)", *planBW)
+		} else {
+			log.Printf("icache-server: clairvoyant planning on (drain budget auto-calibrated)")
+		}
+	}
 	// The control-plane journal records rare decision events (gate
 	// transitions, breaker trips, epoch boundaries, membership flips); it is
 	// cheap enough to keep always-on. Install it before EnableDistributed so

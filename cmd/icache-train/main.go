@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ func main() {
 		bs      = flag.Int("batch", 256, "mini-batch size")
 		workers = flag.Int("workers", 4, "concurrent fetch workers (one connection each, like PyTorch data workers)")
 		seed    = flag.Int64("seed", 1, "sampler seed")
+		clairv  = flag.Bool("clairvoyant", false, "push each epoch's full schedule at the boundary (BeginEpochPlan) so a planning server pre-places the working set; falls back to a plain epoch boundary when the server has no planner")
 		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		traceN  = flag.Int("trace-sample", 0, "trace 1 in N GetBatch requests end to end (0 disables); traced requests carry a trace envelope the server and its peers record spans under")
 		traceTo = flag.String("trace-csv", "", "dump the client-side spans of traced requests to this CSV at exit (combine with the server's -trace-csv in icache-trace)")
@@ -98,7 +100,24 @@ func main() {
 		if err := client.UpdateImportance(hlist.Items); err != nil {
 			log.Fatalf("icache-train: push H-list: %v", err)
 		}
-		if err := client.BeginEpoch(epoch); err != nil {
+		if *clairv {
+			// Planned boundary: the sampler drew the whole epoch's access
+			// order up front, so ship it with the boundary and let the
+			// server pre-place the misses before the batches arrive. An
+			// older or non-planning server rejects the opcode with an
+			// application error; fall back to the plain boundary so the
+			// flag is safe against any server.
+			err := client.BeginEpochPlan(epoch, sched.Fetch)
+			var se *rpc.ServerError
+			if errors.As(err, &se) {
+				log.Printf("icache-train: server rejected planned boundary (%v); falling back to -clairvoyant=false", err)
+				*clairv = false
+				err = client.BeginEpoch(epoch)
+			}
+			if err != nil {
+				log.Fatalf("icache-train: begin epoch: %v", err)
+			}
+		} else if err := client.BeginEpoch(epoch); err != nil {
 			log.Fatalf("icache-train: begin epoch: %v", err)
 		}
 

@@ -156,6 +156,16 @@ type Config struct {
 	// ignores it. 0 disables prefetching (bytes load lazily on first
 	// request).
 	PrefetchWorkers int
+	// Clairvoyant enables planned cross-epoch prefetching: because the IIS
+	// sampler draws the next epoch's schedule before the epoch begins, the
+	// future access sequence is known in advance (the NoPFS premise).
+	// BeginEpoch then feeds the schedule into PlanSchedule so the background
+	// loader composes its packages from exactly the L-samples the epoch will
+	// consume (in first-access order) instead of waiting for misses, and —
+	// on the byte-serving RPC path — missing H-samples are pre-placed by the
+	// planner under a storage-bandwidth budget. Off by default: reactive
+	// behavior is unchanged.
+	Clairvoyant bool
 	// RepackPerSample is the loading thread's bookkeeping cost per sample
 	// packed: dynamic packaging must gather each scattered L-sample from
 	// its original location (a server-side seek-bound read), write it into

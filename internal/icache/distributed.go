@@ -368,6 +368,9 @@ func (cl *Cluster) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker,
 		})
 		n.l.beginEpoch()
 	}
+	if cl.cfg.Cache.Clairvoyant {
+		cl.planSchedule(sched.Fetch)
+	}
 	return sched
 }
 

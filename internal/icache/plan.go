@@ -1,0 +1,116 @@
+package icache
+
+import (
+	"icache/internal/dataset"
+)
+
+// Clairvoyant epoch planning (the NoPFS premise applied to iCache): the IIS
+// sampler draws an epoch's schedule *before* the epoch begins, so the access
+// sequence is known in advance. PlanSchedule ingests that sequence at the
+// epoch boundary and splits it by region:
+//
+//   - Scheduled L-samples that are not resident are queued for priority
+//     re-packing, in first-access order, so the dynamic-packaging loader's
+//     next packages are composed of exactly the samples the epoch is about
+//     to consume instead of random fill. The loader still pays its full
+//     virtual-time storage cost, so simulation results stay honest.
+//   - Scheduled H-samples that are not resident are returned, in
+//     first-access order, for the caller to pre-place. The simulation
+//     ignores the list (an H-miss charges its backend read to the
+//     foreground request that triggers it, and pre-admitting without
+//     charging that time anywhere would falsify the model); the
+//     byte-serving RPC layer hands it to its planner, which fetches real
+//     bytes under a measured bandwidth budget (see internal/rpc/plan.go).
+
+// PlanSchedule ingests the epoch's known access sequence. It seeds the
+// loader's re-pack queue with every scheduled, non-resident L-sample and
+// returns the scheduled, non-resident H-list members, both deduplicated and
+// in first-access order. Callers must hold whatever lock guards the server
+// (the RPC server's policy lock); the simulation owns the server outright.
+func (s *Server) PlanSchedule(ids []dataset.SampleID) []dataset.SampleID {
+	var needH []dataset.SampleID
+	seen := make(map[dataset.SampleID]struct{}, len(ids))
+	seedL := s.cfg.EnableLCache && s.cfg.Packaging != PackagingStatic
+	for _, id := range ids {
+		if !s.spec.Contains(id) {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if s.hlist.Contains(id) {
+			if !s.h.contains(id) {
+				needH = append(needH, id)
+			}
+			continue
+		}
+		if !seedL || s.h.contains(id) || s.l.contains(id) {
+			continue
+		}
+		s.ld.recordMiss(id)
+	}
+	return needH
+}
+
+// PlanAdmitH admits a planned H-sample into the H-cache through the same
+// importance-gated admission path a demand miss would use (Algorithm 1's
+// offer), without counting a request. It reports whether the sample is
+// policy-resident afterwards — false means the plan entry is unfulfillable
+// here (not an H-list member, or the heap rejected it as less important
+// than every resident) and the planner must not fetch bytes for it.
+// Callers hold the policy lock.
+func (s *Server) PlanAdmitH(id dataset.SampleID) bool {
+	if !s.hlist.Contains(id) {
+		return false
+	}
+	if s.h.contains(id) {
+		return true
+	}
+	iv, _ := s.hlistValue(id)
+	return s.h.offer(id, s.spec.SampleBytes(id), iv)
+}
+
+// planSchedule is the cluster-mode counterpart of Server.PlanSchedule:
+// scheduled L-samples resident on no live node are routed round-robin
+// across the live nodes' loaders, so the cluster pre-packs the epoch's
+// working set exactly once instead of every node discovering the same
+// misses reactively. H pre-placement is a byte-serving concern and has no
+// simulation-side effect (see PlanSchedule).
+func (cl *Cluster) planSchedule(ids []dataset.SampleID) {
+	if !cl.cfg.Cache.EnableLCache || cl.cfg.Cache.Packaging == PackagingStatic {
+		return
+	}
+	var live []*clusterNode
+	for _, n := range cl.nodes {
+		if n.alive {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	seen := make(map[dataset.SampleID]struct{}, len(ids))
+	next := 0
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if cl.hlist.Contains(id) {
+			continue
+		}
+		resident := false
+		for _, n := range cl.nodes {
+			if n.alive && (n.h.contains(id) || n.l.contains(id)) {
+				resident = true
+				break
+			}
+		}
+		if resident {
+			continue
+		}
+		live[next%len(live)].ld.recordMiss(id)
+		next++
+	}
+}

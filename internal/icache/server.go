@@ -182,6 +182,14 @@ func (s *Server) BeginEpoch(at simclock.Time, epoch int, tr *sampling.Tracker, r
 		s.InstallHList(hl)
 	}
 	s.startEpoch(at)
+	if s.cfg.Clairvoyant {
+		// The schedule is known before the epoch runs (the clairvoyance
+		// premise): seed the loader with exactly the L-samples the epoch
+		// will consume, in first-access order. The returned H-side plan is
+		// ignored here — only the byte-serving layer can pre-place H bytes
+		// without falsifying the foreground's virtual-time accounting.
+		s.PlanSchedule(sched.Fetch)
+	}
 	return sched
 }
 

@@ -179,6 +179,129 @@ func BenchmarkLoadgenOverload(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefetchEpochs is the standing clairvoyant-prefetch gate
+// (archived via `make bench-prefetch` into BENCH_prefetch.json). Two
+// identical servers take the same epoch-boundary workload — per-epoch
+// reshuffled selections over a keyspace larger than the cache, backend
+// charging real latency per read — one reactive, one with the schedule
+// pushed ahead of its accesses (BeginEpochPlan). The first epoch is a cold
+// baseline on both; from the second epoch on the planner should pre-place
+// nearly the whole selection, so the benchmark FAILS unless warm-epoch
+// cold misses drop >= 10x versus reactive and the prefetch in-time ratio
+// reaches 0.9. The headline samples/sec is the clairvoyant run's
+// throughput at the shared offered rate — a planner that stops working
+// ahead stalls the paced schedule and drags it down, which the benchjson
+// -check gate catches as a regression.
+func BenchmarkPrefetchEpochs(b *testing.B) {
+	const (
+		keys         = 2048
+		epochSamples = 768
+		epochCount   = 5
+		backendLat   = 300 * time.Microsecond
+		offeredRate  = 20000
+	)
+	spec := dataset.Spec{Name: "loadgen-plan", NumSamples: keys, MeanSampleBytes: 4096, Seed: 7}
+	runMode := func(clairvoyant bool) (Report, rpc.PlanStats, int64, float64) {
+		srv, addr := startPlanServer(b, spec, backendLat, clairvoyant)
+		rep, err := Run(Config{
+			Addr:         addr,
+			Conns:        8,
+			Batch:        16,
+			Rate:         offeredRate,
+			Keys:         keys,
+			Seed:         3,
+			EpochSamples: epochSamples,
+			Epochs:       epochCount,
+			Clairvoyant:  clairvoyant,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d request errors (clairvoyant=%v)", rep.Errors, clairvoyant)
+		}
+		d := srv.DecisionStats()
+		if got := d.PrefetchInTime + d.PrefetchLate + d.PrefetchWasted + d.PrefetchDropped; got != d.PrefetchIssued {
+			b.Fatalf("prefetch ledger unbalanced (clairvoyant=%v): in_time %d + late %d + wasted %d + dropped %d != issued %d",
+				clairvoyant, d.PrefetchInTime, d.PrefetchLate, d.PrefetchWasted, d.PrefetchDropped, d.PrefetchIssued)
+		}
+		var warm int64
+		for _, m := range rep.EpochMisses[1:] {
+			warm += m
+		}
+		var inTime float64
+		if denom := d.PrefetchInTime + d.PrefetchLate + d.PrefetchWasted; denom > 0 {
+			inTime = float64(d.PrefetchInTime) / float64(denom)
+		}
+		return rep, srv.PlanStats(), warm, inTime
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, reactiveWarm, _ := runMode(false)
+		rep, ps, clairWarm, inTime := runMode(true)
+		if reactiveWarm == 0 {
+			b.Fatalf("reactive warm epochs saw no cold misses — the workload churn vanished")
+		}
+		if clairWarm*10 > reactiveWarm {
+			b.Fatalf("warm-epoch cold misses only dropped %dx (reactive %d, clairvoyant %d); want >= 10x",
+				reactiveWarm/max64(clairWarm, 1), reactiveWarm, clairWarm)
+		}
+		if inTime < 0.9 {
+			b.Fatalf("prefetch in-time ratio %.3f < 0.9 (plan %+v)", inTime, ps)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rep.SamplesPerSec, "samples/sec")
+			b.ReportMetric(float64(clairWarm), "cold-misses")
+			b.ReportMetric(inTime, "in-time-ratio")
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// startPlanServer boots a serving stack for the epoch-boundary benchmark:
+// all-H policy (L-cache off) so the clairvoyant planner is the only
+// prefetch source, capacity above one epoch's selection but below the
+// keyspace, latency-charging backend. The bandwidth budget is pinned
+// explicitly — the benchmark models an operator granting the planner a
+// known share of storage bandwidth.
+func startPlanServer(b *testing.B, spec dataset.Spec, backendLat time.Duration, clairvoyant bool) (*rpc.Server, string) {
+	b.Helper()
+	back, err := storage.NewBackend(spec, storage.OrangeFS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := icache.DefaultConfig(spec.TotalBytes() * 3 / 4)
+	cfg.EnableLCache = false
+	cfg.PrefetchWorkers = 16
+	cacheSrv, err := icache.NewServer(back, cfg, sampling.DefaultIIS(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inner, err := storage.NewDataSource(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := rpc.NewServer(cacheSrv, &stallSource{inner: inner, latency: backendLat})
+	srv.Logf = nil
+	if clairvoyant {
+		srv.SetClairvoyant(rpc.PlanConfig{BandwidthBytesPerSec: 128 << 20})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
 // startOverloadServer is startGatedServer with a stalled backend: every
 // miss charges backendLat, making the admission slots — not the loopback
 // wire — the capacity-limiting resource.

@@ -730,6 +730,31 @@ func (c *Client) BeginEpoch(epoch int) error {
 	return err
 }
 
+// BeginEpochPlan is BeginEpoch carrying the next epoch's known access
+// sequence (the IIS sampler draws it before the epoch starts). A
+// clairvoyant server installs it as a prefetch plan; a reactive one still
+// crosses the boundary and ignores the schedule. Servers predating the
+// opcode reject it — callers fall back to BeginEpoch on error.
+func (c *Client) BeginEpochPlan(epoch int, ids []dataset.SampleID) error {
+	_, err := c.roundTrip(encodeEpochPlanRequest(epoch, ids))
+	return err
+}
+
+// PlanPreplace hands the server plan entries it is the future owner of
+// (planner-to-planner traffic). Returns how many entries the server
+// accepted into its plan (0 when its planner is off).
+func (c *Client) PlanPreplace(ids []dataset.SampleID) (int, error) {
+	d, err := c.roundTrip(encodePlanPreplaceRequest(ids))
+	if err != nil {
+		return 0, err
+	}
+	accepted := d.u32()
+	if err := d.err(); err != nil {
+		return 0, err
+	}
+	return int(accepted), nil
+}
+
 // Stats fetches the server's counter snapshot.
 func (c *Client) Stats() (Stats, error) {
 	var e buffer

@@ -110,6 +110,7 @@ func (s *Server) TimelinePoint() map[string]float64 {
 	s.policyMu.Unlock()
 	d := s.DecisionStats()
 	ov := s.OverloadStats()
+	ps := s.PlanStats()
 	peerServes, peerHits := s.PeerStats()
 
 	var gateState float64
@@ -150,5 +151,9 @@ func (s *Server) TimelinePoint() map[string]float64 {
 		"epoch_lcache_len":        float64(d.EpochLCount),
 		"peer_serves":             float64(peerServes),
 		"peer_hits":               float64(peerHits),
+		"plan_planned":            float64(ps.Planned),
+		"plan_completed":          float64(ps.Completed),
+		"plan_remaining":          float64(ps.Remaining),
+		"demand_fetches":          float64(s.DemandFetches()),
 	}
 }

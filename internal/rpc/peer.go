@@ -578,19 +578,25 @@ func (s *Server) resolveMissBatch(ids []dataset.SampleID, calls map[dataset.Samp
 	measure := s.obs.histsOn() || s.obs.tracing(ctx)
 	for _, id := range local {
 		var tFetch time.Time
-		if measure {
+		if measure || s.plan != nil {
 			tFetch = time.Now()
 		}
 		p, err := s.source.Fetch(id)
-		if measure {
+		if !tFetch.IsZero() {
 			dur := time.Since(tFetch)
-			s.obs.backend.Record(dur)
-			s.span(trace.KindBackend, id, 0, ctx, dur)
+			if measure {
+				s.obs.backend.Record(dur)
+				s.span(trace.KindBackend, id, 0, ctx, dur)
+			}
+			if s.plan != nil && err == nil {
+				s.observeBackend(len(p), dur)
+			}
 		}
 		if err != nil {
 			finish(id, nil, err)
 			continue
 		}
+		atomic.AddInt64(&s.demandFetches, 1)
 		s.admit(id, p, provFetch)
 		finish(id, p, nil)
 	}

@@ -34,6 +34,11 @@ import (
 type prefetchItem struct {
 	id dataset.SampleID
 	at time.Time
+	// planned marks a clairvoyant plan entry (see plan.go): before fetching
+	// bytes the worker must admit the sample into the H-cache through the
+	// policy's importance-gated plan-admission path. Reactive deliveries
+	// (false) are already policy-resident when enqueued.
+	planned bool
 }
 
 type prefetcher struct {
@@ -66,9 +71,15 @@ type prefetcher struct {
 
 	// pending is the token set; pendN mirrors its size atomically so the
 	// hot hit path can skip the lock when no prefetch is outstanding.
-	pendMu  sync.Mutex
-	pending map[dataset.SampleID]struct{}
-	pendN   int64
+	// queuedSet tracks IDs sitting in q that no worker has picked up yet;
+	// cancelled marks queued entries a demand fetch has promoted past (the
+	// foreground is fetching the bytes itself, so the worker turn would be
+	// pure duplication — see noteDemand). Both share pendMu.
+	pendMu    sync.Mutex
+	pending   map[dataset.SampleID]struct{}
+	queuedSet map[dataset.SampleID]struct{}
+	cancelled map[dataset.SampleID]struct{}
+	pendN     int64
 
 	// paused (atomic 0/1) is the brownout switch: while set, enqueue drops
 	// every delivery so background backend reads stop competing with
@@ -82,11 +93,13 @@ type prefetcher struct {
 // cannot pile up unbounded work.
 func newPrefetcher(s *Server, workers int) *prefetcher {
 	p := &prefetcher{
-		s:       s,
-		q:       make(chan prefetchItem, workers*64),
-		workers: workers,
-		done:    make(chan struct{}),
-		pending: make(map[dataset.SampleID]struct{}),
+		s:         s,
+		q:         make(chan prefetchItem, workers*64),
+		workers:   workers,
+		done:      make(chan struct{}),
+		pending:   make(map[dataset.SampleID]struct{}),
+		queuedSet: make(map[dataset.SampleID]struct{}),
+		cancelled: make(map[dataset.SampleID]struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -118,12 +131,48 @@ func (p *prefetcher) enqueue(id dataset.SampleID) {
 	if p.s.obs.histsOn() {
 		it.at = time.Now()
 	}
+	p.markQueued(id)
 	select {
 	case p.q <- it:
 		atomic.AddInt64(&p.queued, 1)
 	default:
-		p.pendRemove(id)
-		atomic.AddInt64(&p.dropped, 1)
+		if p.unqueueFailed(id) {
+			atomic.AddInt64(&p.dropped, 1)
+		}
+	}
+}
+
+// enqueuePlanned offers a clairvoyant plan entry to the pool. Unlike
+// enqueue it runs on the planner's drain goroutine with no locks held, so
+// when the queue is full it WAITS instead of dropping — the planner paces
+// itself under the bandwidth budget, and dropping paced entries would punch
+// holes in the plan. An ID already holding a pending token is deduped
+// silently (the in-flight prefetch or demand fetch covers it). Returns
+// false only when the pool or the caller is stopping.
+func (p *prefetcher) enqueuePlanned(id dataset.SampleID, stop <-chan struct{}) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	if !p.pendAdd(id) {
+		return true
+	}
+	it := prefetchItem{id: id, planned: true}
+	if p.s.obs.histsOn() {
+		it.at = time.Now()
+	}
+	p.markQueued(id)
+	select {
+	case p.q <- it:
+		atomic.AddInt64(&p.queued, 1)
+		return true
+	case <-p.done:
+		p.unqueueFailed(id)
+		return false
+	case <-stop:
+		p.unqueueFailed(id)
+		return false
 	}
 }
 
@@ -152,6 +201,74 @@ func (p *prefetcher) pendRemove(id dataset.SampleID) bool {
 	atomic.AddInt64(&p.pendN, -1)
 	p.pendMu.Unlock()
 	return true
+}
+
+// markQueued records that id's item is sitting in q awaiting a worker.
+// Called before the channel send so a marker can never outlive its item:
+// a failed send removes it via unqueueFailed, a delivered item is consumed
+// by the worker's dequeued call.
+func (p *prefetcher) markQueued(id dataset.SampleID) {
+	p.pendMu.Lock()
+	p.queuedSet[id] = struct{}{}
+	p.pendMu.Unlock()
+}
+
+// unqueueFailed rolls back a markQueued+pendAdd pair after a failed channel
+// send, consuming any cancel marker a concurrent noteDemand left. It
+// reports whether the pending token was still ours to redeem — false means
+// a demand fetch already counted the outcome and the caller must not also
+// count a drop.
+func (p *prefetcher) unqueueFailed(id dataset.SampleID) bool {
+	p.pendMu.Lock()
+	delete(p.queuedSet, id)
+	delete(p.cancelled, id)
+	_, mine := p.pending[id]
+	if mine {
+		delete(p.pending, id)
+		atomic.AddInt64(&p.pendN, -1)
+	}
+	p.pendMu.Unlock()
+	return mine
+}
+
+// dequeued records that a worker picked id up, reporting whether a demand
+// fetch cancelled the entry while it sat queued (the worker then skips it
+// entirely — no existence probe, no backend read).
+func (p *prefetcher) dequeued(id dataset.SampleID) bool {
+	p.pendMu.Lock()
+	delete(p.queuedSet, id)
+	_, c := p.cancelled[id]
+	if c {
+		delete(p.cancelled, id)
+	}
+	p.pendMu.Unlock()
+	return c
+}
+
+// noteDemand records that the foreground is about to fetch id itself. If a
+// prefetch for it is queued but unstarted, the entry is promoted: the
+// demand fetch becomes the one backend read (through the singleflight
+// group) and the queued entry is cancelled so its worker turn does not
+// re-fetch bytes the demand path already brought in — even if they get
+// evicted in between. The token resolves late: the plan existed but the
+// foreground beat it.
+func (p *prefetcher) noteDemand(id dataset.SampleID) {
+	if p == nil || atomic.LoadInt64(&p.pendN) == 0 {
+		return
+	}
+	p.pendMu.Lock()
+	_, queued := p.queuedSet[id]
+	_, already := p.cancelled[id]
+	_, tok := p.pending[id]
+	if !queued || already || !tok {
+		p.pendMu.Unlock()
+		return
+	}
+	delete(p.pending, id)
+	atomic.AddInt64(&p.pendN, -1)
+	p.cancelled[id] = struct{}{}
+	p.pendMu.Unlock()
+	atomic.AddInt64(&p.late, 1)
 }
 
 // noteHit records that a local hit served id: if its prefetch token is
@@ -207,6 +324,15 @@ func (p *prefetcher) worker() {
 		case it := <-p.q:
 			p.s.obs.prefetchWt.Since(it.at)
 			id := it.id
+			if p.dequeued(id) {
+				// A demand fetch promoted this entry while it sat queued:
+				// the foreground already paid (or is paying) the backend
+				// read and counted the token late. Skip entirely — probing
+				// or re-fetching here is exactly the double fetch the
+				// promotion exists to prevent.
+				atomic.AddInt64(&p.completed, 1)
+				continue
+			}
 			// Existence probe only — has() touches no payload bytes and takes
 			// no refcount, where a shared get would copy arena-resident bytes
 			// just to throw them away. The fetched payload itself is admitted
@@ -218,6 +344,17 @@ func (p *prefetcher) worker() {
 					atomic.AddInt64(&p.late, 1)
 				}
 				atomic.AddInt64(&p.completed, 1)
+				continue
+			}
+			if it.planned && !p.s.planAdmit(id) {
+				// The policy refused the planned sample (demoted out of the
+				// H-list since the plan was built, or outranked by every
+				// resident): fetching bytes it cannot store would be pure
+				// waste. The plan entry is unfulfillable here.
+				if p.pendRemove(id) {
+					atomic.AddInt64(&p.failedOutcome, 1)
+				}
+				atomic.AddInt64(&p.failed, 1)
 				continue
 			}
 			if _, err := p.s.resolvePayloadProv(id, obs.TraceCtx{}, time.Time{}, provPrefetch); err != nil {
@@ -236,6 +373,10 @@ func (p *prefetcher) worker() {
 		}
 	}
 }
+
+// isPaused reports the brownout switch state (the planner's drain consults
+// it so planned backend reads stop competing with overloaded serving).
+func (p *prefetcher) isPaused() bool { return atomic.LoadInt32(&p.paused) == 1 }
 
 // setPaused flips the brownout switch (see the paused field).
 func (p *prefetcher) setPaused(on bool) {

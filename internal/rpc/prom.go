@@ -165,6 +165,25 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Gauge("icache_epoch_hcache_bytes", "H-cache bytes at the last epoch boundary", float64(d.EpochHBytes))
 	p.Gauge("icache_epoch_lcache_bytes", "L-cache bytes at the last epoch boundary", float64(d.EpochLBytes))
 
+	// Clairvoyant-planner family (zeros while the planner is off). The
+	// demand-fetch counter is the headline: cold misses the plan failed to
+	// pre-place.
+	ps := s.PlanStats()
+	p.Gauge("icache_plan_epoch", "epoch the current prefetch plan was installed for", float64(ps.Epoch))
+	p.Gauge("icache_plan_planned", "entries admitted to the current epoch's prefetch plan", float64(ps.Planned))
+	p.Gauge("icache_plan_completed", "current-epoch plan entries drained", float64(ps.Completed))
+	p.Gauge("icache_plan_remaining", "current-epoch plan entries still queued", float64(ps.Remaining))
+	p.Counter("icache_plan_entries_total", "plan entries admitted across all epochs", float64(ps.EntriesTotal))
+	p.Counter("icache_plan_completed_entries_total", "plan entries drained across all epochs", float64(ps.CompletedTotal))
+	p.Counter("icache_plan_skipped_resident_total", "plan entries skipped because their bytes were already local", float64(ps.SkippedResident))
+	p.Counter("icache_plan_skipped_cluster_total", "plan entries skipped because a live peer already owned them", float64(ps.SkippedCluster))
+	p.Counter("icache_plan_preplace_sent_total", "plan entries accepted by their future owner nodes", float64(ps.PreplaceSent))
+	p.Counter("icache_plan_preplace_recv_total", "plan entries accepted from peer planners", float64(ps.PreplaceRecv))
+	p.Counter("icache_plan_reroutes_total", "plan entries re-routed locally after a failed pre-place", float64(ps.Reroutes))
+	p.Counter("icache_plan_throttle_waits_total", "bandwidth-budget waits in the plan drain", float64(ps.ThrottleWaits))
+	p.Gauge("icache_plan_budget_bytes_per_sec", "current planned-drain bandwidth budget", float64(ps.BudgetBytesPerSec))
+	p.Counter("icache_demand_fetches_total", "backend reads issued on the demand path (cold misses)", float64(s.DemandFetches()))
+
 	// Event-journal and trace-ring retention family.
 	p.Counter("icache_journal_events_total", "control-plane events appended to the journal", float64(s.journal.Total()))
 	p.Counter("icache_journal_dropped_total", "journal events overwritten by ring wraparound", float64(s.journal.Dropped()))

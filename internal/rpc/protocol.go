@@ -46,6 +46,22 @@ const (
 	// is rejected. A server that cannot finish in time answers
 	// statusExpired without touching the cache. Responses carry no deadline.
 	opDeadline = 10
+	// opEpochPlan is the clairvoyant epoch boundary: opBeginEpoch plus the
+	// epoch's known access sequence, pushed in first-access order by a
+	// client whose IIS sampler has already drawn the schedule. Request:
+	// u8 opcode | u32 epoch | u32 n | n × i64 id. The server performs the
+	// normal epoch-boundary duties and — when clairvoyant planning is
+	// enabled — installs the sequence as the epoch's prefetch plan (see
+	// plan.go). A non-clairvoyant server still crosses the boundary and
+	// answers statusOK, so callers need no capability negotiation.
+	opEpochPlan = 11
+	// opPlanPreplace routes plan entries to their future owner: the sending
+	// planner decided (by rendezvous over the membership) that the receiver
+	// should hold these samples, and the receiver folds them into its own
+	// plan, admitting and fetching them through its own budgeted drain.
+	// Request: u8 opcode | u32 n | n × i64 id. Response: statusOK |
+	// u32 accepted (0 when the receiver has no planner).
+	opPlanPreplace = 12
 )
 
 // Capability bits negotiated over opPing. A post-PR-5 client appends
@@ -176,6 +192,42 @@ func decodePeerGetBatchResponse(d *reader, want int) ([][]byte, error) {
 	return out, d.err()
 }
 
+// encodeEpochPlanRequest/decode pair: the epoch number plus the epoch's
+// access sequence in first-access order. The sequence reuses opGetBatch's
+// id-list layout and size guard (an IIS schedule is at most one pass over
+// the dataset, well under the guard for every spec this repo ships).
+func encodeEpochPlanRequest(epoch int, ids []dataset.SampleID) []byte {
+	var e buffer
+	e.u8(opEpochPlan)
+	e.u32(uint32(epoch))
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.i64(int64(id))
+	}
+	return e.payload()
+}
+
+func decodeEpochPlanRequest(d *reader) (epoch uint32, ids []dataset.SampleID, err error) {
+	epoch = d.u32()
+	ids, err = decodeGetBatchRequest(d)
+	return epoch, ids, err
+}
+
+// encodePlanPreplaceRequest/decode pair: the id-list layout again.
+func encodePlanPreplaceRequest(ids []dataset.SampleID) []byte {
+	var e buffer
+	e.u8(opPlanPreplace)
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.i64(int64(id))
+	}
+	return e.payload()
+}
+
+func decodePlanPreplaceRequest(d *reader) ([]dataset.SampleID, error) {
+	return decodeGetBatchRequest(d)
+}
+
 // Sample is one delivered sample on the wire: the ID actually served (which
 // may differ from the requested ID under substitution) and its payload.
 type Sample struct {
@@ -255,6 +307,10 @@ type Stats struct {
 	HCacheLen     int64
 	LCacheLen     int64
 	Packages      int64
+	// DemandFetches counts backend reads issued on the demand path (cold
+	// misses). Appended to the wire response as an optional trailing field:
+	// pre-plan servers don't send it and pre-plan clients don't read it.
+	DemandFetches int64
 }
 
 func encodeStatsResponse(s Stats) []byte {
@@ -281,6 +337,14 @@ func decodeStatsResponse(d *reader) (Stats, error) {
 		HCacheLen:     d.i64(),
 		LCacheLen:     d.i64(),
 		Packages:      d.i64(),
+	}
+	// Optional trailing DemandFetches field (servers with the planner wired
+	// in append it; older servers end the frame here).
+	if err := d.err(); err != nil {
+		return s, err
+	}
+	if len(d.rest()) >= 8 {
+		s.DemandFetches = d.i64()
 	}
 	return s, d.err()
 }

@@ -83,6 +83,19 @@ type Server struct {
 	// for samples the loader delivered into the L-cache (nil when
 	// disabled).
 	prefetch *prefetcher
+	// plan is the clairvoyant cross-epoch prefetch planner (nil = reactive
+	// only); installed via SetClairvoyant before Serve. The planner drains
+	// through the prefetch worker pool under a bandwidth budget calibrated
+	// from the backendFetch* throughput observations below.
+	plan *planner
+	// backendFetchBytes / backendFetchNanos accumulate observed backend
+	// fetch throughput for the planner's token bucket (atomics; only
+	// maintained while plan != nil). demandFetches counts backend reads
+	// issued on the demand path — the "cold miss" metric the clairvoyant
+	// plan exists to drive to zero (atomic, always maintained).
+	backendFetchBytes int64
+	backendFetchNanos int64
+	demandFetches     int64
 	// muxInflight gauges mux requests currently in async dispatch (atomic).
 	muxInflight int64
 	// legacyProto pins the server to pre-PR-5 wire behavior (test hook;
@@ -229,6 +242,11 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.conns.Wait()
+	// The planner feeds the prefetch pool; stop it first so no planned
+	// enqueue races the pool teardown.
+	if s.plan != nil {
+		s.plan.stop()
+	}
 	if s.prefetch != nil {
 		s.prefetch.stop()
 	}
@@ -675,6 +693,56 @@ func (s *Server) dispatchFull(req []byte, e *buffer, ctx obs.TraceCtx, dl time.T
 		s.policyMu.Unlock()
 		s.journal.Add(obs.EventEpoch, s.journalNode(), epoch-1, epoch, "epoch boundary")
 		e.u8(statusOK)
+	case opEpochPlan:
+		// Clairvoyant epoch boundary: cross the boundary exactly like
+		// opBeginEpoch, then hand the policy engine the next epoch's known
+		// schedule. PlanSchedule seeds the loader with the missing L-side
+		// (honest virtual-time charging) and returns the missing H-side in
+		// first-access order for the planner to pre-place.
+		if s.legacyProto {
+			encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
+			return
+		}
+		_, ids, err := decodeEpochPlanRequest(d)
+		if err != nil {
+			encodeErrorResponseInto(e, err.Error())
+			return
+		}
+		s.policyMu.Lock()
+		s.cache.StartEpoch(s.now())
+		s.prefetch.sweepEpoch()
+		var need []dataset.SampleID
+		if s.plan != nil {
+			need = s.cache.PlanSchedule(ids)
+		}
+		epoch := s.cache.Epoch()
+		s.policyMu.Unlock()
+		if s.plan != nil {
+			s.plan.install(int64(epoch), need)
+			s.journal.Add(obs.EventEpoch, s.journalNode(), epoch-1, epoch,
+				fmt.Sprintf("epoch boundary (planned: %d missing H)", len(need)))
+		} else {
+			// A reactive server still honors the boundary — the client need
+			// not know whether planning is on.
+			s.journal.Add(obs.EventEpoch, s.journalNode(), epoch-1, epoch, "epoch boundary")
+		}
+		e.u8(statusOK)
+	case opPlanPreplace:
+		if s.legacyProto {
+			encodeErrorResponseInto(e, fmt.Sprintf("rpc: unknown opcode %d", op))
+			return
+		}
+		ids, err := decodePlanPreplaceRequest(d)
+		if err != nil {
+			encodeErrorResponseInto(e, err.Error())
+			return
+		}
+		var accepted int
+		if s.plan != nil {
+			accepted = s.plan.acceptRemote(ids)
+		}
+		e.u8(statusOK)
+		e.u32(uint32(accepted))
 	case opStats:
 		s.policyMu.Lock()
 		st := s.cache.Stats()
@@ -685,9 +753,14 @@ func (s *Server) dispatchFull(req []byte, e *buffer, ctx obs.TraceCtx, dl time.T
 			HCacheLen:     int64(s.cache.HCacheLen()),
 			LCacheLen:     int64(s.cache.LCacheLen()),
 			Packages:      s.cache.PackagesLoaded(),
+			DemandFetches: atomic.LoadInt64(&s.demandFetches),
 		}
 		s.policyMu.Unlock()
 		encodeStatsResponseInto(e, out)
+		if !s.legacyProto {
+			// Optional trailing field; legacy framing stays byte-identical.
+			e.i64(out.DemandFetches)
+		}
 	case opPing:
 		e.u8(statusOK)
 		// Capability handshake: a post-PR-5 client appends its capability
@@ -843,6 +916,12 @@ func (s *Server) collectBatched(served []dataset.SampleID, ctx obs.TraceCtx, dl 
 		}
 	}
 	if len(leads) > 0 {
+		// A demand miss that overtakes a queued-but-unstarted planned
+		// prefetch promotes it: this fetch becomes the one backend read and
+		// the plan entry is cancelled (the backend must not pay twice).
+		for _, id := range leads {
+			s.prefetch.noteDemand(id)
+		}
 		s.resolveMissBatch(leads, calls, ctx, dl)
 	}
 
@@ -903,6 +982,11 @@ func (s *Server) resolvePayloadProv(id dataset.SampleID, ctx obs.TraceCtx, dl ti
 		if p, ok := s.payloads.get(id); ok {
 			return p, nil
 		}
+		if prov != provPrefetch {
+			// A demand fetch executing for this sample promotes any
+			// queued-but-unstarted planned prefetch (see noteDemand).
+			s.prefetch.noteDemand(id)
+		}
 		// A peer's cache is cheaper than the backend (§III-E flow:
 		// local cache → directory → remote cache → storage).
 		if remote, ok := s.resolveRemote(id, ctx, dl); ok {
@@ -915,17 +999,26 @@ func (s *Server) resolvePayloadProv(id dataset.SampleID, ctx obs.TraceCtx, dl ti
 			return remote, nil
 		}
 		var tFetch time.Time
-		if s.obs.histsOn() || s.obs.tracing(ctx) {
+		measure := s.obs.histsOn() || s.obs.tracing(ctx)
+		if measure || s.plan != nil {
 			tFetch = time.Now()
 		}
 		p, err := s.source.Fetch(id)
 		if !tFetch.IsZero() {
 			dur := time.Since(tFetch)
-			s.obs.backend.Record(dur)
-			s.span(trace.KindBackend, id, 0, ctx, dur)
+			if measure {
+				s.obs.backend.Record(dur)
+				s.span(trace.KindBackend, id, 0, ctx, dur)
+			}
+			if s.plan != nil && err == nil {
+				s.observeBackend(len(p), dur)
+			}
 		}
 		if err != nil {
 			return nil, err
+		}
+		if prov != provPrefetch {
+			atomic.AddInt64(&s.demandFetches, 1)
 		}
 		s.admit(id, p, prov)
 		return p, nil
@@ -974,3 +1067,7 @@ func (s *Server) admit(id dataset.SampleID, payload []byte, prov admitProv) {
 // CoalescedMisses reports how many miss-path fetches were served by
 // joining another goroutine's in-flight fetch.
 func (s *Server) CoalescedMisses() int64 { return atomic.LoadInt64(&s.coalescedMisses) }
+
+// DemandFetches reports how many backend reads were issued on the demand
+// path — the cold misses the clairvoyant plan exists to eliminate.
+func (s *Server) DemandFetches() int64 { return atomic.LoadInt64(&s.demandFetches) }

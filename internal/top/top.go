@@ -234,14 +234,30 @@ func spark(tl []obs.Point, key string, width int) string {
 	return b.String()
 }
 
+// planProgress renders the clairvoyant plan's drain progress as
+// "completed/planned" with the remainder in parentheses, or "-" when the
+// node has no plan installed (planner off, or nothing missing this epoch).
+func planProgress(m map[string]float64) string {
+	planned := m["icache_plan_planned"]
+	if planned == 0 {
+		return "-"
+	}
+	completed := m["icache_plan_completed"]
+	if rem := planned - completed; rem > 0 {
+		return fmt.Sprintf("%.0f/%.0f(-%.0f)", completed, planned, rem)
+	}
+	return fmt.Sprintf("%.0f/%.0f", completed, planned)
+}
+
 // Render writes the cluster table: one row per node with request/hit/shed
 // rates (from the node's timeline), goodput, overload-gate and breaker
-// state, prefetch timeliness, the dominant eviction reason, membership
-// summary and epoch, followed by a req/s sparkline per node.
+// state, prefetch timeliness, clairvoyant plan progress, the dominant
+// eviction reason, membership summary and epoch, followed by a req/s
+// sparkline per node.
 func Render(w io.Writer, views []View) {
 	tw := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-	tw("%-22s %8s %6s %8s %9s %-9s %4s %7s %-16s %-10s %5s",
-		"NODE", "REQ/S", "HIT%", "SHED/S", "GOODPUT", "GATE", "BRK", "PF-TIME", "TOP-EVICT", "MEMBER", "EPOCH")
+	tw("%-22s %8s %6s %8s %9s %-9s %4s %7s %-13s %-16s %-10s %5s",
+		"NODE", "REQ/S", "HIT%", "SHED/S", "GOODPUT", "GATE", "BRK", "PF-TIME", "PLAN", "TOP-EVICT", "MEMBER", "EPOCH")
 	for _, v := range views {
 		if v.Err != nil {
 			tw("%-22s DOWN: %v", v.Name, v.Err)
@@ -251,7 +267,7 @@ func Render(w io.Writer, views []View) {
 		reqRate := rate(v.Timeline, "requests", 30)
 		shedRate := rate(v.Timeline, "shed", 30)
 		hitPct := m["icache_cache_hit_ratio"] * 100
-		tw("%-22s %8.1f %6.1f %8.1f %9.1f %-9s %4.0f %7.2f %-16s %-10s %5.0f",
+		tw("%-22s %8.1f %6.1f %8.1f %9.1f %-9s %4.0f %7.2f %-13s %-16s %-10s %5.0f",
 			v.Name,
 			reqRate,
 			hitPct,
@@ -260,6 +276,7 @@ func Render(w io.Writer, views []View) {
 			gateName(m["icache_overload_gate_state"]),
 			m["icache_overload_breakers_open"],
 			m["icache_prefetch_timeliness_ratio"],
+			planProgress(m),
 			topEviction(m),
 			membership(m),
 			m["icache_epoch"],

@@ -20,6 +20,8 @@ icache_evict_capacity_total 40
 icache_evict_scrub_total 3
 icache_membership_registers_total 1
 icache_membership_suspects_total 2
+icache_plan_planned 200
+icache_plan_completed 150
 icache_epoch 5
 icache_stage_request_seconds_bucket{le="+Inf"} 100
 not-a-metric
@@ -39,8 +41,8 @@ func TestParseProm(t *testing.T) {
 	if _, ok := m[`icache_stage_request_seconds_bucket{le="+Inf"}`]; ok {
 		t.Error("labeled series must be skipped")
 	}
-	if len(m) != 10 {
-		t.Errorf("parsed %d series (%v), want 10", len(m), SortKeys(m))
+	if len(m) != 12 {
+		t.Errorf("parsed %d series (%v), want 12", len(m), SortKeys(m))
 	}
 }
 
@@ -106,6 +108,7 @@ func TestRenderTwoNodes(t *testing.T) {
 		"capacity(40)", // dominant eviction reason
 		"live s2",      // membership: registered, 2 suspect flips
 		"0.75",         // prefetch timeliness
+		"150/200(-50)", // clairvoyant plan drain progress
 		"DOWN",         // unreachable node flagged, not dropped
 		"req/s",        // sparkline row from the timeline
 	} {
@@ -121,6 +124,18 @@ func TestRenderTwoNodes(t *testing.T) {
 	// BRK column shows two open breakers.
 	if views[0].Metrics["icache_overload_breakers_open"] != 2 {
 		t.Error("breaker gauge lost in scrape")
+	}
+}
+
+func TestPlanProgress(t *testing.T) {
+	if got := planProgress(map[string]float64{}); got != "-" {
+		t.Errorf("no plan = %q, want -", got)
+	}
+	if got := planProgress(map[string]float64{"icache_plan_planned": 8, "icache_plan_completed": 3}); got != "3/8(-5)" {
+		t.Errorf("mid-drain = %q, want 3/8(-5)", got)
+	}
+	if got := planProgress(map[string]float64{"icache_plan_planned": 8, "icache_plan_completed": 8}); got != "8/8" {
+		t.Errorf("drained = %q, want 8/8", got)
 	}
 }
 
